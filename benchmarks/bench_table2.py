@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 2 (Facebook crawl datasets)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, preset):
+    result = benchmark.pedantic(
+        lambda: run_table2(preset=preset, rng=0), rounds=1, iterations=1
+    )
+    emit(result)
+    headers, rows = result.table
+    fractions = {row[0]: float(row[4].rstrip("%")) for row in rows}
+    # Shape claims of Table 2:
+    # (1) the 2009 designs all see ~the declared share (34-41% paper).
+    for name in ("MHRW09", "RW09", "UIS09"):
+        assert 25 <= fractions[name] <= 50, (name, fractions[name])
+    # (2) plain RW rarely hits the small college population (9% paper)...
+    assert fractions["RW10"] < 15
+    # (3) ...while S-WRW oversamples it by an order of magnitude (86%).
+    assert fractions["S-WRW10"] > 5 * max(fractions["RW10"], 1.0)
+    assert fractions["S-WRW10"] > 50

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper at the scale
+selected by ``REPRO_SCALE`` (default ``small``; set ``paper`` for the
+full-size runs) and prints the regenerated rows/series in paper layout.
+Benches also *assert the shape claims* of the paper (who wins, by
+roughly what factor), so a regression in estimator quality fails the
+suite, not just the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_preset
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """The active scale preset (REPRO_SCALE env var)."""
+    return active_preset()
+
+
+def emit(result) -> None:
+    """Print one experiment result in paper layout."""
+    print()
+    print(result.render())

@@ -1,0 +1,77 @@
+"""Does distance kill friendship? A gravity model on sampled data.
+
+The paper's Section 9 sketches the follow-up this example runs in full:
+estimate a country-to-country category graph *from crawls*, then fit a
+log-linear gravity model ``log w(A,B) = b0 + b1 * distance(A,B)`` on the
+estimated weights, test the distance coefficient with a permutation
+test, and use the fitted model to predict mixing rates for category
+pairs the crawl never observed.
+
+Run:  python examples/distance_vs_friendship.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.facebook import (
+    FacebookModelConfig,
+    build_facebook_world,
+    country_partition,
+    estimate_country_graph,
+    simulate_crawl_datasets,
+)
+from repro.graph import true_category_graph
+from repro.models import fit_gravity_model, pair_distance_feature
+
+
+def main() -> None:
+    world = build_facebook_world(FacebookModelConfig(scale=6), rng=0)
+    datasets = simulate_crawl_datasets(
+        world, samples_per_walk=2500, num_walks_2009=8, num_walks_2010=2, rng=1
+    )
+    estimate = estimate_country_graph(world, datasets)
+    print(f"estimated country graph: {estimate.num_categories} countries, "
+          f"{estimate.num_edges()} weighted edges")
+
+    # Geo positions per country (the model's 1-D geography axis).
+    positions = _country_positions(world, estimate.names)
+    distance = pair_distance_feature(positions)
+
+    fit = fit_gravity_model(
+        estimate, {"distance": distance}, permutations=500, rng=2
+    )
+    print("\ngravity model on ESTIMATED weights:")
+    print(fit.summary())
+
+    truth = true_category_graph(world.graph, country_partition(world))
+    fit_truth = fit_gravity_model(
+        truth, {"distance": distance}, permutations=0
+    )
+    print("\nsame model on TRUE weights (oracle):")
+    print(fit_truth.summary())
+    attenuation = fit.slope("distance") / fit_truth.slope("distance")
+    print(f"\nslope recovery: {attenuation:.0%} of the oracle slope "
+          "(measurement noise attenuates toward zero)")
+
+    # Ex ante prediction: mixing rates at given distances.
+    grid = np.array([[0.0], [5.0], [25.0], [100.0]])
+    predicted = fit.predict(grid)
+    print("\npredicted mixing rate by distance (estimated model):")
+    for (d,), w in zip(grid, predicted):
+        print(f"  distance {d:>5.0f}: w = {w:.2e}")
+
+
+def _country_positions(world, names) -> np.ndarray:
+    positions = np.full(len(names), np.nan)
+    first: dict[str, float] = {}
+    for r, country in enumerate(world.region_country):
+        code = world.country_names[country]
+        first.setdefault(code, float(world.region_position[r]))
+    for i, name in enumerate(names):
+        positions[i] = first.get(name, 0.0)
+    return positions
+
+
+if __name__ == "__main__":
+    main()

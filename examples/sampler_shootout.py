@@ -1,0 +1,74 @@
+"""Sampler shootout: which crawl design estimates a category graph best?
+
+Compares UIS, RW, MHRW, RW-with-jumps, S-WRW, and the (biased!) BFS
+baseline at an equal sample budget on an empirical-style graph with
+community categories — the Section 6.3 setting. Prints median NRMSE for
+category sizes and edge weights, induced vs star, reproducing the
+paper's sampler ordering and the warning about traversal baselines.
+
+Run:  python examples/sampler_shootout.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset, worst_case_categories
+from repro.sampling import (
+    BreadthFirstSampler,
+    MetropolisHastingsSampler,
+    RandomWalkSampler,
+    RandomWalkWithJumpsSampler,
+    StratifiedWeightedWalkSampler,
+    UniformIndependenceSampler,
+)
+from repro.stats import run_nrmse_sweep
+
+BUDGET = 2000
+REPLICATIONS = 8
+
+
+def main() -> None:
+    graph, spec = load_dataset("facebook_new_orleans", scale=15, rng=0)
+    partition = worst_case_categories(graph, top=12, rng=0)
+    print(f"graph: {spec.description}")
+    print(f"  scaled to {graph.num_nodes} nodes / {graph.num_edges} edges; "
+          f"{partition.num_categories} community categories")
+    print(f"  budget: {BUDGET} draws x {REPLICATIONS} replications\n")
+
+    samplers = {
+        "UIS": lambda: UniformIndependenceSampler(graph),
+        "RW": lambda: RandomWalkSampler(graph),
+        "MHRW": lambda: MetropolisHastingsSampler(graph),
+        "RW+jumps": lambda: RandomWalkWithJumpsSampler(graph, alpha=5.0),
+        "S-WRW": lambda: StratifiedWeightedWalkSampler(graph, partition),
+        "BFS (biased)": lambda: BreadthFirstSampler(graph),
+    }
+    header = (f"{'sampler':>14} {'size/induced':>13} {'size/star':>10} "
+              f"{'w/induced':>10} {'w/star':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, factory in samplers.items():
+        sweep = run_nrmse_sweep(
+            graph, partition, factory, (BUDGET,),
+            replications=REPLICATIONS, rng=1,
+        )
+        row = (
+            sweep.median_size_nrmse("induced")[0],
+            sweep.median_size_nrmse("star")[0],
+            sweep.median_weight_nrmse("induced")[0],
+            sweep.median_weight_nrmse("star")[0],
+        )
+        print(f"{name:>14} " + " ".join(
+            f"{v:>{w}.3f}" for v, w in zip(row, (13, 10, 10, 8))
+        ))
+    print(
+        "\nreading guide: star columns should dominate induced ones for"
+        "\nweights (the paper's 5-10x sample-efficiency gap); BFS has no"
+        "\nvalid inclusion probabilities, so its rows illustrate the bias"
+        "\nthe paper's Section 8 warns about."
+    )
+
+
+if __name__ == "__main__":
+    main()

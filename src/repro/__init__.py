@@ -1,0 +1,116 @@
+"""repro — reproduction of "Coarse-Grained Topology Estimation via Graph
+Sampling" (Kurant, Gjoka, Wang, Almquist, Butts, Markopoulou).
+
+The library estimates the *category graph* of a large network — category
+sizes and inter-category connection probabilities (Eq. 3 of the paper) —
+from a probability sample of nodes, under induced-subgraph or star
+measurement and uniform or weighted (random-walk) sampling designs.
+
+Quickstart::
+
+    from repro import (
+        planted_category_graph, UniformIndependenceSampler,
+        observe_star, estimate_category_graph, true_category_graph,
+    )
+
+    graph, partition = planted_category_graph(rng=0)
+    sampler = UniformIndependenceSampler(graph)
+    sample = sampler.sample(2000, rng=1)
+    observation = observe_star(graph, partition, sample)
+    estimate = estimate_category_graph(observation)
+    truth = true_category_graph(graph, partition)
+
+Subpackages
+-----------
+``repro.graph``       CSR graph container, partitions, category graphs.
+``repro.generators``  Synthetic graphs, incl. the paper's Section 6.2.1 model.
+``repro.sampling``    UIS/WIS/RW/MHRW/S-WRW samplers and the two
+                      measurement scenarios (induced, star).
+``repro.core``        The paper's estimators (Eqs. 4-16) — the primary
+                      contribution.
+``repro.community``   Leading-eigenvector communities (Section 6.3 categories).
+``repro.datasets``    Stand-ins for the paper's Table 1 empirical graphs.
+``repro.facebook``    Synthetic Facebook substrate for Section 7.
+``repro.stats``       NRMSE and replication harnesses.
+``repro.experiments`` Drivers that regenerate every table and figure.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    EstimationError,
+    ExperimentError,
+    GenerationError,
+    GraphError,
+    PartitionError,
+    ReproError,
+    SamplingError,
+)
+from repro.graph import (
+    CategoryGraph,
+    CategoryPartition,
+    Graph,
+    GraphBuilder,
+    true_category_graph,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "PartitionError",
+    "SamplingError",
+    "EstimationError",
+    "GenerationError",
+    "ExperimentError",
+    # graph substrate
+    "Graph",
+    "GraphBuilder",
+    "CategoryPartition",
+    "CategoryGraph",
+    "true_category_graph",
+    # lazily loaded convenience symbols (see __getattr__)
+    "planted_category_graph",
+    "UniformIndependenceSampler",
+    "WeightedIndependenceSampler",
+    "RandomWalkSampler",
+    "MetropolisHastingsSampler",
+    "StratifiedWeightedWalkSampler",
+    "observe_induced",
+    "observe_star",
+    "estimate_category_graph",
+    "estimate_category_sizes",
+    "estimate_edge_weights",
+]
+
+_LAZY_EXPORTS = {
+    # generators
+    "planted_category_graph": "repro.generators",
+    "PlantedModelConfig": "repro.generators",
+    # sampling
+    "UniformIndependenceSampler": "repro.sampling",
+    "WeightedIndependenceSampler": "repro.sampling",
+    "RandomWalkSampler": "repro.sampling",
+    "MetropolisHastingsSampler": "repro.sampling",
+    "StratifiedWeightedWalkSampler": "repro.sampling",
+    "observe_induced": "repro.sampling",
+    "observe_star": "repro.sampling",
+    # core estimators
+    "estimate_category_graph": "repro.core",
+    "estimate_category_sizes": "repro.core",
+    "estimate_edge_weights": "repro.core",
+}
+
+
+def __getattr__(name: str):
+    """Lazily re-export the most used symbols from subpackages.
+
+    Keeps ``import repro`` fast while still offering a flat convenience
+    namespace (``repro.estimate_category_graph`` etc.).
+    """
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

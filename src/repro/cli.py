@@ -1,0 +1,115 @@
+"""Command-line interface.
+
+Regenerate any table or figure of the paper::
+
+    repro list
+    repro run fig3a
+    repro run table2 --scale medium --out results/
+    repro run fig7 --seed 7
+
+or equivalently ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.exceptions import ReproError
+from repro.experiments import (
+    SCALE_PRESETS,
+    active_preset,
+    experiment_ids,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Coarse-Grained Topology Estimation via Graph "
+            "Sampling' (Kurant et al.): regenerate any table or figure."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    report = commands.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--out", type=Path, default=Path("results"), help="output directory"
+    )
+    report.add_argument(
+        "--scale", choices=sorted(SCALE_PRESETS), default=None,
+        help="size preset (default: $REPRO_SCALE or 'small')",
+    )
+    report.add_argument("--seed", type=int, default=0, help="master seed")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see 'repro list')")
+    run.add_argument(
+        "--scale",
+        choices=sorted(SCALE_PRESETS),
+        default=None,
+        help="size preset (default: $REPRO_SCALE or 'small')",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0, help="master random seed (default 0)"
+    )
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to save CSV/JSON/text outputs",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        try:
+            preset = active_preset(args.scale)
+            path = generate_report(args.out, preset=preset, rng=args.seed)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"wrote {path}")
+        return 0
+    # command == "run"
+    try:
+        preset = active_preset(args.scale)
+        results = run_experiment(args.experiment, preset=preset, rng=args.seed)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for result in results.values():
+        print(result.render())
+        print()
+        if args.out is not None:
+            for path in result.save(args.out):
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Newman modularity of a partition.
+
+``Q = sum_A [ e_A / m - (vol(A) / 2m)^2 ]`` where ``e_A`` counts
+intra-community edges and ``m = |E|``. Used as the objective of the
+leading-eigenvector method and as a quality check in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.graph.category_graph import cut_matrix
+from repro.graph.partition import CategoryPartition
+
+__all__ = ["modularity"]
+
+
+def modularity(graph: Graph, partition: CategoryPartition) -> float:
+    """Modularity ``Q`` of ``partition`` on ``graph`` (in [-0.5, 1])."""
+    if graph.num_edges == 0:
+        raise GraphError("modularity is undefined for an edgeless graph")
+    m = graph.num_edges
+    cuts = cut_matrix(graph, partition)
+    intra = np.diag(cuts).astype(float)
+    volumes = partition.volumes(graph).astype(float)
+    return float(np.sum(intra / m - (volumes / (2.0 * m)) ** 2))

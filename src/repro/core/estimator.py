@@ -1,0 +1,147 @@
+"""High-level category-graph estimation.
+
+One call from an observation to an estimated
+:class:`~repro.graph.category_graph.CategoryGraph`, wiring together the
+size estimators (Sections 4.1/5.2), the edge-weight estimators
+(Sections 4.2/5.3) and, when ``N`` is unknown, the collision-based
+population estimator (Section 4.3).
+
+The defaults follow the paper's recommendations (Section 9):
+
+* sizes: induced counting under uniform designs on skewed graphs is
+  often best, star under crawls — ``size_method="auto"`` picks star for
+  star observations under non-uniform designs and induced otherwise;
+* weights: star whenever the observation supports it ("the star
+  estimators are a clear winner").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.graph.category_graph import CategoryGraph
+from repro.core.category_size import estimate_sizes_induced, estimate_sizes_star
+from repro.core.edge_weight import estimate_weights_induced, estimate_weights_star
+from repro.core.population import estimate_population_size
+from repro.sampling.observation import InducedObservation, StarObservation
+
+__all__ = [
+    "estimate_category_sizes",
+    "estimate_edge_weights",
+    "estimate_category_graph",
+]
+
+
+def estimate_category_sizes(
+    observation,
+    population_size: float | None = None,
+    method: str = "auto",
+    mean_degree_model: str = "per-category",
+) -> np.ndarray:
+    """Estimate every category size from an observation.
+
+    Parameters
+    ----------
+    observation:
+        Induced or star observation.
+    population_size:
+        ``N``; when ``None`` it is estimated from sample collisions
+        (Section 4.3), which needs a sample large enough to revisit
+        nodes.
+    method:
+        ``"induced"`` (Eq. 4/11), ``"star"`` (Eq. 5/12) or ``"auto"``.
+    mean_degree_model:
+        Passed through to the star estimator (paper footnote 4).
+    """
+    n_pop = _resolve_population(observation, population_size)
+    method = _resolve_size_method(observation, method)
+    if method == "induced":
+        return estimate_sizes_induced(observation, n_pop)
+    return estimate_sizes_star(
+        observation, n_pop, mean_degree_model=mean_degree_model
+    )
+
+
+def estimate_edge_weights(
+    observation,
+    category_sizes: np.ndarray | None = None,
+    population_size: float | None = None,
+    method: str = "auto",
+) -> np.ndarray:
+    """Estimate the full ``(C, C)`` edge-weight matrix.
+
+    For the star estimator (Eq. 9/16) the plug-in ``category_sizes``
+    default to the estimates of :func:`estimate_category_sizes`.
+    """
+    if method == "auto":
+        method = "star" if isinstance(observation, StarObservation) else "induced"
+    if method == "induced":
+        if not isinstance(observation, InducedObservation):
+            raise EstimationError(
+                "induced weight estimation needs an InducedObservation "
+                "(build one with observe_induced)"
+            )
+        return estimate_weights_induced(observation)
+    if method == "star":
+        if category_sizes is None:
+            category_sizes = estimate_category_sizes(
+                observation, population_size=population_size
+            )
+        return estimate_weights_star(observation, category_sizes)
+    raise EstimationError(f"unknown weight method {method!r}")
+
+
+def estimate_category_graph(
+    observation,
+    population_size: float | None = None,
+    size_method: str = "auto",
+    weight_method: str = "auto",
+    mean_degree_model: str = "per-category",
+) -> CategoryGraph:
+    """Estimate the full category graph ``G_C`` from one observation.
+
+    Returns a :class:`CategoryGraph` whose ``sizes`` are the estimated
+    ``|A|``, whose ``weights`` are the estimated Eq. (3) matrix, and
+    whose ``cuts`` are the implied edge-cut estimates
+    ``w_hat(A, B) * |A|_hat * |B|_hat`` (useful for the likelihood-based
+    follow-ups sketched in the paper's Section 9).
+    """
+    n_pop = _resolve_population(observation, population_size)
+    sizes = estimate_category_sizes(
+        observation,
+        population_size=n_pop,
+        method=size_method,
+        mean_degree_model=mean_degree_model,
+    )
+    weights = estimate_edge_weights(
+        observation,
+        category_sizes=sizes if weight_method != "induced" else None,
+        population_size=n_pop,
+        method=weight_method,
+    )
+    with np.errstate(invalid="ignore"):
+        cuts = weights * np.outer(sizes, sizes)
+    return CategoryGraph(sizes, weights, names=observation.names, cuts=cuts)
+
+
+def _resolve_population(observation, population_size: float | None) -> float:
+    if population_size is not None:
+        return float(population_size)
+    return estimate_population_size(observation)
+
+
+def _resolve_size_method(observation, method: str) -> str:
+    if method not in ("auto", "induced", "star"):
+        raise EstimationError(f"unknown size method {method!r}")
+    if method == "star" and not isinstance(observation, StarObservation):
+        raise EstimationError(
+            "star size estimation needs a StarObservation "
+            "(build one with observe_star)"
+        )
+    if method == "auto":
+        if isinstance(observation, StarObservation) and not observation.uniform:
+            # Paper Sec. 6.3/7: star size estimation wins under crawls.
+            return "star"
+        return "induced"
+    return method

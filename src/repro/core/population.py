@@ -1,0 +1,161 @@
+"""Population-size estimation ``N = |V|`` (Section 4.3 of the paper).
+
+Category-size estimation needs ``N``. When the operator publishes it,
+pass it directly; otherwise the paper points to collision-based ("reversed
+coupon collector") estimators [Katzir, Liberty & Somekh, WWW'11]:
+
+* **Uniform designs** — the birthday-problem estimator: with ``n``
+  i.i.d. uniform draws and ``Y`` colliding pairs,
+  ``E[Y] = C(n, 2) / N``, so ``N_hat = C(n, 2) / Y``.
+
+* **Degree-biased designs** (RW and WIS-by-degree) — the Katzir
+  estimator ``N_hat = mean(d) * mean(1/d) * C(n, 2) / Y`` where the
+  means run over draws; the degree factors undo the size bias of the
+  collision probability.
+
+For crawls, collisions between *adjacent* draws are structural (a walk
+cannot revisit its current node but revisits recent ones often), so we
+follow the standard practice of only counting collisions between draws
+at least ``min_gap`` steps apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.sampling.observation import StarObservation, _ObservationBase
+
+__all__ = [
+    "estimate_population_size",
+    "estimate_population_size_coupon",
+    "count_collisions",
+]
+
+
+def count_collisions(draw_to_distinct: np.ndarray, min_gap: int = 1) -> int:
+    """Number of draw pairs (i < j) hitting the same node, ``j - i >= min_gap``.
+
+    Linear in the sample size for ``min_gap == 1`` (per-node pair
+    counts); falls back to a per-node position scan otherwise.
+    """
+    draw_to_distinct = np.asarray(draw_to_distinct, dtype=np.int64)
+    if min_gap < 1:
+        raise EstimationError(f"min_gap must be >= 1, got {min_gap}")
+    if min_gap == 1:
+        counts = np.bincount(draw_to_distinct)
+        return int(np.sum(counts * (counts - 1) // 2))
+    total = 0
+    order = np.argsort(draw_to_distinct, kind="stable")
+    sorted_rows = draw_to_distinct[order]
+    boundaries = np.flatnonzero(np.diff(sorted_rows)) + 1
+    for group in np.split(order, boundaries):
+        if len(group) < 2:
+            continue
+        positions = np.sort(group)
+        for a in range(len(positions)):
+            total += int(np.searchsorted(positions, positions[a] + min_gap) < len(positions)) * (
+                len(positions) - np.searchsorted(positions, positions[a] + min_gap)
+            )
+    return int(total)
+
+
+def estimate_population_size(
+    observation: _ObservationBase, min_gap: int = 1
+) -> float:
+    """Collision-based estimate of ``N`` from an observation.
+
+    Uses the uniform birthday estimator when ``observation.uniform`` and
+    the degree-corrected Katzir estimator otherwise (which requires a
+    star observation, since induced sampling does not reveal degrees —
+    except when the design's weights *are* the degrees, as for RW, in
+    which case the weights substitute).
+
+    Raises
+    ------
+    EstimationError
+        When the sample contains no collisions (sample too small
+        relative to ``N``) — callers should supply ``N`` externally.
+    """
+    n = observation.num_draws
+    if n < 2:
+        raise EstimationError("population estimation needs at least 2 draws")
+    collisions = count_collisions(observation.draw_to_distinct, min_gap=min_gap)
+    if collisions == 0:
+        raise EstimationError(
+            "no collisions in the sample; it is too small to estimate N — "
+            "pass population_size explicitly"
+        )
+    pairs = n * (n - 1) / 2.0
+    if observation.uniform:
+        return pairs / collisions
+
+    degrees = _draw_degrees(observation)
+    mean_degree = float(degrees.mean())
+    mean_inverse = float((1.0 / degrees).mean())
+    return mean_degree * mean_inverse * pairs / collisions
+
+
+def estimate_population_size_coupon(observation: _ObservationBase) -> float:
+    """Reversed-coupon-collector estimate of ``N`` (uniform designs).
+
+    With ``n`` i.i.d. uniform draws the expected number of *distinct*
+    nodes is ``E[D] = N * (1 - (1 - 1/N)^n)``; observing ``D`` distinct
+    nodes, solve for ``N`` numerically. Complements the collision
+    estimator: it stays usable when collisions are few (D close to n)
+    as long as at least one repeat occurred, and uses the whole
+    discovery curve rather than pair counts.
+
+    Only valid for uniform designs (UIS/MHRW-converged); weighted
+    designs need the Katzir route in :func:`estimate_population_size`.
+    """
+    if not observation.uniform:
+        raise EstimationError(
+            "the coupon-collector estimator assumes uniform draws; use "
+            "estimate_population_size for weighted designs"
+        )
+    n = observation.num_draws
+    distinct = observation.num_distinct
+    if n < 2:
+        raise EstimationError("population estimation needs at least 2 draws")
+    if distinct >= n:
+        raise EstimationError(
+            "no repeated nodes; the sample is too small to estimate N — "
+            "pass population_size explicitly"
+        )
+
+    def expected_distinct(population: float) -> float:
+        # N * (1 - (1 - 1/N)^n), computed stably in log space.
+        return population * -np.expm1(n * np.log1p(-1.0 / population))
+
+    # E[D] is increasing in N; bisect on [distinct, huge].
+    lo = float(distinct)
+    hi = float(distinct) * 2.0 + 10.0
+    while expected_distinct(hi) < distinct and hi < 1e15:
+        hi *= 4.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if expected_distinct(mid) < distinct:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 0.5:
+            break
+    return 0.5 * (lo + hi)
+
+
+def _draw_degrees(observation: _ObservationBase) -> np.ndarray:
+    """Per-draw degrees for the Katzir correction."""
+    if isinstance(observation, StarObservation):
+        per_distinct = observation.distinct_degrees.astype(float)
+    elif observation.design.startswith(("rw", "wis")):
+        # Degree-proportional designs carry degrees as their weights.
+        per_distinct = observation.distinct_weights
+    else:
+        raise EstimationError(
+            "non-uniform population estimation needs node degrees: use a "
+            "star observation or a degree-weighted design (rw/wis)"
+        )
+    if per_distinct.min() <= 0:
+        raise EstimationError("degrees must be positive for the Katzir estimator")
+    return per_distinct[observation.draw_to_distinct]

@@ -1,0 +1,151 @@
+"""Analytic (delta-method) variance for Hansen-Hurwitz ratio estimators.
+
+Bootstrap (Section 5.3.2) is the paper's suggestion for variance
+estimation, but it costs hundreds of re-estimations. Every estimator in
+this library is a ratio of sample means
+
+    R_hat = mean(y_i) / mean(z_i)
+
+over i.i.d.(-ish) draws, so the classical linearisation gives
+
+    Var(R_hat) ~= (1 / (n * zbar^2)) * Var(y_i - R_hat * z_i)
+
+(the Taylor/delta method for a ratio). This module exposes that for
+arbitrary per-draw numerator/denominator values, plus a convenience
+wrapper for the induced size estimator (Eq. 4/11), whose per-draw
+decomposition is explicit. Tests cross-check the delta method against
+the bootstrap; agreement within a few tens of percent on realistic
+samples is expected and observed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.sampling.observation import _ObservationBase
+
+__all__ = ["ratio_variance", "induced_size_std", "star_weight_std"]
+
+
+def ratio_variance(numerator: np.ndarray, denominator: np.ndarray) -> float:
+    """Delta-method variance of ``sum(numerator) / sum(denominator)``.
+
+    ``numerator`` and ``denominator`` are per-draw contributions (e.g.
+    ``1{v in A} / w(v)`` and ``1 / w(v)``); draws are treated as i.i.d.
+    (for walks this underestimates slightly at high autocorrelation —
+    thin first, or use replicate walks).
+    """
+    numerator = np.asarray(numerator, dtype=float)
+    denominator = np.asarray(denominator, dtype=float)
+    if numerator.shape != denominator.shape or numerator.ndim != 1:
+        raise EstimationError("numerator/denominator must be equal-length vectors")
+    n = len(numerator)
+    if n < 2:
+        raise EstimationError("ratio_variance needs at least 2 draws")
+    z_bar = denominator.mean()
+    if z_bar == 0:
+        raise EstimationError("denominator mean is zero")
+    ratio = numerator.sum() / denominator.sum()
+    residuals = numerator - ratio * denominator
+    return float(residuals.var(ddof=1) / (n * z_bar**2))
+
+
+def induced_size_std(
+    observation: _ObservationBase, population_size: float
+) -> np.ndarray:
+    """Delta-method standard error of the Eq. (4)/(11) size estimates.
+
+    Returns one standard error per category, on the same scale as the
+    estimates (i.e. multiplied by ``N``).
+    """
+    if population_size <= 0 or not np.isfinite(population_size):
+        raise EstimationError(
+            f"population_size must be positive, got {population_size}"
+        )
+    if observation.num_draws < 2:
+        raise EstimationError("need at least 2 draws for a variance")
+    inv_weights = (
+        1.0 / observation.distinct_weights[observation.draw_to_distinct]
+    )
+    categories = observation.distinct_categories[observation.draw_to_distinct]
+    out = np.empty(observation.num_categories)
+    for c in range(observation.num_categories):
+        indicator = (categories == c).astype(float) * inv_weights
+        out[c] = population_size * np.sqrt(
+            ratio_variance(indicator, inv_weights)
+        )
+    return out
+
+
+def star_weight_std(
+    observation,
+    category_sizes: np.ndarray,
+    pair: tuple[int, int],
+) -> float:
+    """Delta-method standard error of one Eq. (9)/(16) weight estimate.
+
+    The star weight for the pair (A, B) is a ratio of draw sums:
+    numerator contribution of draw i is ``|E_{i,B}| / w_i`` when the
+    draw is in A (symmetrically for B), zero otherwise; the denominator
+    contribution is ``|B| / w_i`` (resp. ``|A| / w_i``). Both decompose
+    per draw, so :func:`ratio_variance` applies.
+
+    Parameters
+    ----------
+    observation:
+        A :class:`~repro.sampling.observation.StarObservation`.
+    category_sizes:
+        The plug-in sizes used in the estimate (treated as fixed; the
+        extra uncertainty of *estimated* plug-ins is second-order and
+        ignored, as in the paper's recommendation to pick the
+        lower-variance plug-in).
+    pair:
+        Category indices ``(a, b)``, distinct.
+    """
+    from repro.sampling.observation import StarObservation
+
+    if not isinstance(observation, StarObservation):
+        raise EstimationError("star_weight_std requires a StarObservation")
+    a, b = int(pair[0]), int(pair[1])
+    c = observation.num_categories
+    if not (0 <= a < c and 0 <= b < c) or a == b:
+        raise EstimationError(f"invalid category pair {pair}")
+    category_sizes = np.asarray(category_sizes, dtype=float)
+    if category_sizes.shape != (c,):
+        raise EstimationError(
+            f"category_sizes must have shape ({c},), got {category_sizes.shape}"
+        )
+    if observation.num_draws < 2:
+        raise EstimationError("need at least 2 draws for a variance")
+
+    # Per-distinct |E_{v,B}| and |E_{v,A}| lookups from the neighbor CSR.
+    counts_toward = {a: np.zeros(observation.num_distinct),
+                     b: np.zeros(observation.num_distinct)}
+    for i in range(observation.num_distinct):
+        lo = observation.neighbor_indptr[i]
+        hi = observation.neighbor_indptr[i + 1]
+        cats = observation.neighbor_categories[lo:hi]
+        vals = observation.neighbor_counts[lo:hi]
+        for target in (a, b):
+            hit = cats == target
+            if np.any(hit):
+                counts_toward[target][i] = float(vals[hit].sum())
+
+    rows = observation.draw_to_distinct
+    draw_cats = observation.distinct_categories[rows]
+    draw_weights = observation.distinct_weights[rows]
+    in_a = draw_cats == a
+    in_b = draw_cats == b
+    numerator = np.where(
+        in_a, counts_toward[b][rows], np.where(in_b, counts_toward[a][rows], 0.0)
+    ) / draw_weights
+    denominator = np.where(
+        in_a, category_sizes[b], np.where(in_b, category_sizes[a], 0.0)
+    ) / draw_weights
+    if denominator.sum() == 0:
+        raise EstimationError(
+            "neither category of the pair was sampled; the weight (and its "
+            "variance) are undefined"
+        )
+    return float(np.sqrt(ratio_variance(numerator, denominator)))

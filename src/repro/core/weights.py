@@ -1,0 +1,65 @@
+"""Hansen-Hurwitz reweighting machinery (Section 5.1 of the paper).
+
+Under a non-uniform design with known (up to a constant) sampling
+weights ``w(v) ~ pi(v)``, the Hansen-Hurwitz estimator of a population
+total is ``(1/n) * sum_{v in S} x(v) / pi(v)`` (Eq. 10). Because the
+normalising constant of ``pi`` is unknown in practice, every estimator
+in this library is a *ratio* of two such totals, where the constant
+cancels (Section 5.1). These helpers compute the building blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+__all__ = ["hh_total", "hh_ratio", "reweighted_count"]
+
+
+def hh_total(values: np.ndarray, weights: np.ndarray) -> float:
+    """Unnormalised Hansen-Hurwitz total ``sum_i x_i / w_i``.
+
+    Proportional to the Eq. (10) estimate of ``x_tot``; use
+    :func:`hh_ratio` to cancel the unknown constant.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise EstimationError(
+            f"values and weights must align; got {values.shape} vs {weights.shape}"
+        )
+    if len(weights) == 0:
+        raise EstimationError("hh_total of an empty sample is undefined")
+    if weights.min() <= 0:
+        raise EstimationError("sampling weights must be strictly positive")
+    return float(np.sum(values / weights))
+
+
+def hh_ratio(
+    numerator_values: np.ndarray,
+    denominator_values: np.ndarray,
+    weights: np.ndarray,
+) -> float:
+    """Ratio of two Hansen-Hurwitz totals over the *same* sample.
+
+    The unknown proportionality constant of the sampling weights cancels
+    in the ratio, which is the paper's device for making Eq. (11)-(16)
+    usable with crawl weights known only up to scale.
+    """
+    denominator = hh_total(denominator_values, weights)
+    if denominator == 0:
+        raise EstimationError("hh_ratio denominator total is zero")
+    return hh_total(numerator_values, weights) / denominator
+
+
+def reweighted_count(
+    mask: np.ndarray, multiplicities: np.ndarray, weights: np.ndarray
+) -> float:
+    """``w^{-1}(X) = sum_{v in X} 1 / w(v)`` over a multiset (Eq. 11).
+
+    ``mask`` selects rows of a distinct-node table; multiplicities carry
+    the with-replacement draw counts.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return float(np.sum(multiplicities[mask] / weights[mask]))

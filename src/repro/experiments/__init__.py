@@ -1,0 +1,90 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+Registry
+--------
+``EXPERIMENTS`` maps every experiment id to a zero-config callable
+returning ``{id: ExperimentResult}``; :func:`run_experiment` dispatches
+by id (used by the CLI and the benches).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ablations import ABLATIONS, run_ablations
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import SCALE_PRESETS, ScalePreset, active_preset
+from repro.experiments.fig3 import FIG3_PANELS, run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentResult",
+    "ScalePreset",
+    "SCALE_PRESETS",
+    "active_preset",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "run_table2",
+    "run_ablations",
+    "ABLATIONS",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+]
+
+
+def _fig3_runner(panel: str) -> Callable[..., dict[str, ExperimentResult]]:
+    def run(preset: ScalePreset | None = None, rng: int = 0):
+        return run_fig3(panels=(panel,), preset=preset, rng=rng)
+
+    return run
+
+
+def _single(fn) -> Callable[..., dict[str, ExperimentResult]]:
+    def run(preset: ScalePreset | None = None, rng: int = 0):
+        result = fn(preset=preset, rng=rng)
+        return {result.experiment_id: result}
+
+    return run
+
+
+EXPERIMENTS: dict[str, Callable[..., dict[str, "ExperimentResult"]]] = {
+    **{f"fig3{p}": _fig3_runner(p) for p in FIG3_PANELS},
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "table1": _single(run_table1),
+    "table2": _single(run_table2),
+    "ablations": run_ablations,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All runnable experiment ids."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run one experiment by id; returns ``{result_id: result}``."""
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](preset=preset, rng=rng)

@@ -1,0 +1,172 @@
+"""Ablation experiments for the design choices the paper argues in prose.
+
+Five runnable studies (also asserted in ``benchmarks/bench_ablations.py``):
+
+* ``hh``        — dropping the Hansen-Hurwitz correction under RW;
+* ``footnote4`` — per-category vs global mean-degree model in Eq. (5);
+* ``plugin``    — the Eq. (16) size plug-in choice (Section 5.3.2);
+* ``thinning``  — walk autocorrelation vs thinning period (Section 5.4);
+* ``bfs``       — degree bias of traversal baselines (Section 8).
+
+Available from the CLI as ``repro run ablations``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.category_size import estimate_sizes_induced, estimate_sizes_star
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ScalePreset, active_preset
+from repro.generators.ba import barabasi_albert_graph
+from repro.generators.planted import planted_category_graph
+from repro.generators.sbm import stochastic_block_model
+from repro.rng import derive_rng
+from repro.sampling.base import NodeSample
+from repro.sampling.convergence import autocorrelation
+from repro.sampling.observation import observe_induced, observe_star
+from repro.sampling.traversal import BreadthFirstSampler
+from repro.sampling.walks import RandomWalkSampler
+from repro.stats.replication import run_nrmse_sweep_from_samples
+
+__all__ = ["run_ablations", "ABLATIONS"]
+
+ABLATIONS = ("hh", "footnote4", "plugin", "thinning", "bfs")
+
+
+def run_ablations(
+    which: tuple[str, ...] = ABLATIONS,
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run the requested ablations; returns ``{id: ExperimentResult}``."""
+    preset = preset or active_preset()
+    unknown = set(which) - set(ABLATIONS)
+    if unknown:
+        raise ValueError(f"unknown ablations: {sorted(unknown)}")
+    builders = {
+        "hh": _ablation_hh,
+        "footnote4": _ablation_footnote4,
+        "plugin": _ablation_plugin,
+        "thinning": _ablation_thinning,
+        "bfs": _ablation_bfs,
+    }
+    results = {}
+    for name in which:
+        result = builders[name](preset, rng)
+        results[result.experiment_id] = result
+    return results
+
+
+def _ablation_hh(preset: ScalePreset, rng: int) -> ExperimentResult:
+    graph, partition = stochastic_block_model(
+        [400, 400],
+        np.array([[0.10, 0.005], [0.005, 0.01]]),
+        rng=derive_rng(rng, 80),
+    )
+    sample = RandomWalkSampler(graph).sample(40_000, rng=derive_rng(rng, 81))
+    corrected = estimate_sizes_induced(
+        observe_induced(graph, partition, sample), graph.num_nodes
+    )
+    naive_sample = NodeSample(
+        sample.nodes, np.ones(sample.size), design="naive", uniform=True
+    )
+    naive = estimate_sizes_induced(
+        observe_induced(graph, partition, naive_sample), graph.num_nodes
+    )
+    rows = [
+        (block, 400, round(float(corrected[block]), 1), round(float(naive[block]), 1))
+        for block in (0, 1)
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_hh",
+        title="RW size estimates with vs without Hansen-Hurwitz correction",
+        table=(("block", "true", "corrected", "naive"), rows),
+        notes={"dense_block_inflation": round(float(naive[0]) / 400, 2)},
+    )
+
+
+def _ablation_footnote4(preset: ScalePreset, rng: int) -> ExperimentResult:
+    graph, partition = planted_category_graph(
+        k=10, scale=preset.planted_scale, rng=derive_rng(rng, 82)
+    )
+    sample = RandomWalkSampler(graph).sample(300, rng=derive_rng(rng, 83))
+    obs = observe_star(graph, partition, sample)
+    per_category = estimate_sizes_star(
+        obs, graph.num_nodes, mean_degree_model="per-category"
+    )
+    global_model = estimate_sizes_star(
+        obs, graph.num_nodes, mean_degree_model="global"
+    )
+    rows = [
+        (
+            partition.names[i],
+            int(partition.sizes()[i]),
+            round(float(per_category[i]), 1),
+            round(float(global_model[i]), 1),
+        )
+        for i in range(partition.num_categories)
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_footnote4",
+        title="star size estimation: per-category vs global k_A (footnote 4)",
+        table=(("category", "true", "per-category", "global"), rows),
+        notes={
+            "finite_per_category": int(np.sum(np.isfinite(per_category))),
+            "finite_global": int(np.sum(np.isfinite(global_model))),
+        },
+    )
+
+
+def _ablation_plugin(preset: ScalePreset, rng: int) -> ExperimentResult:
+    graph, partition = planted_category_graph(
+        k=12, scale=preset.planted_scale, rng=derive_rng(rng, 84)
+    )
+    streams = [derive_rng(rng, 85, i) for i in range(6)]
+    walks = [RandomWalkSampler(graph).sample(3000, rng=s) for s in streams]
+    rows = []
+    for plugin in ("true", "star", "induced"):
+        sweep = run_nrmse_sweep_from_samples(
+            graph, partition, walks, (3000,), weight_size_plugin=plugin
+        )
+        rows.append((plugin, round(float(sweep.median_weight_nrmse("star")[0]), 4)))
+    return ExperimentResult(
+        experiment_id="ablation_plugin",
+        title="Eq. (16) size plug-in: median NRMSE(w) under RW",
+        table=(("plug-in", "median NRMSE"), rows),
+    )
+
+
+def _ablation_thinning(preset: ScalePreset, rng: int) -> ExperimentResult:
+    graph, _ = planted_category_graph(
+        k=10, scale=preset.planted_scale, rng=derive_rng(rng, 86)
+    )
+    walk = RandomWalkSampler(graph).sample(30_000, rng=derive_rng(rng, 87))
+    rows = []
+    for period in (1, 2, 5, 10, 20):
+        thinned = walk.thin(period)
+        acf1 = float(autocorrelation(thinned.weights, max_lag=1)[1])
+        rows.append((period, thinned.size, round(acf1, 4)))
+    return ExperimentResult(
+        experiment_id="ablation_thinning",
+        title="thinning period vs lag-1 degree autocorrelation (Sec. 5.4)",
+        table=(("period", "draws kept", "lag-1 ACF"), rows),
+    )
+
+
+def _ablation_bfs(preset: ScalePreset, rng: int) -> ExperimentResult:
+    graph = barabasi_albert_graph(
+        max(20_000 // preset.planted_scale * 10, 2000), 4, rng=derive_rng(rng, 88)
+    )
+    n = graph.num_nodes
+    bfs = BreadthFirstSampler(graph).sample(n // 10, rng=derive_rng(rng, 89))
+    mean_bfs = float(graph.degrees()[bfs.nodes].mean())
+    mean_all = float(graph.mean_degree())
+    return ExperimentResult(
+        experiment_id="ablation_bfs",
+        title="BFS degree bias on a heavy-tailed graph (Sec. 8)",
+        table=(
+            ("population mean degree", "BFS sample mean degree", "bias factor"),
+            [(round(mean_all, 2), round(mean_bfs, 2), round(mean_bfs / mean_all, 2))],
+        ),
+    )

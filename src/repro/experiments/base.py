@@ -1,0 +1,86 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.viz.ascii import ascii_chart, format_table
+from repro.viz.export import write_series_csv, write_series_json
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure regeneration.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper identifier (``"fig3a"``, ``"table1"``, ...).
+    title:
+        Human-readable description.
+    series:
+        Named curves ``{label: (x, y)}`` (figures).
+    table:
+        Optional ``(headers, rows)`` (tables).
+    notes:
+        Free-form key/value facts (shape-claim checks, parameters).
+    log_axes:
+        Whether :meth:`render` draws log-log axes.
+    """
+
+    experiment_id: str
+    title: str
+    series: dict[str, tuple[Sequence[float], Sequence[float]]] = field(
+        default_factory=dict
+    )
+    table: tuple[Sequence[str], Sequence[Sequence[object]]] | None = None
+    notes: dict[str, object] = field(default_factory=dict)
+    log_axes: bool = True
+
+    def render(self) -> str:
+        """Text rendering: chart and/or table plus notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.series:
+            parts.append(
+                ascii_chart(
+                    self.series,
+                    log_x=self.log_axes,
+                    log_y=self.log_axes,
+                )
+            )
+        if self.table is not None:
+            headers, rows = self.table
+            parts.append(format_table(headers, rows))
+        if self.notes:
+            parts.append(
+                "\n".join(f"  {key}: {value}" for key, value in self.notes.items())
+            )
+        return "\n".join(parts)
+
+    def save(self, directory: "str | Path") -> list[Path]:
+        """Persist series (CSV + JSON) and the rendering; returns paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        if self.series:
+            csv_path = directory / f"{self.experiment_id}.csv"
+            write_series_csv(csv_path, self.series)
+            json_path = directory / f"{self.experiment_id}.json"
+            write_series_json(
+                json_path,
+                self.series,
+                metadata={"title": self.title, **_stringify(self.notes)},
+            )
+            written += [csv_path, json_path]
+        text_path = directory / f"{self.experiment_id}.txt"
+        text_path.write_text(self.render() + "\n")
+        written.append(text_path)
+        return written
+
+
+def _stringify(notes: Mapping[str, object]) -> dict[str, str]:
+    return {key: str(value) for key, value in notes.items()}

@@ -1,0 +1,106 @@
+"""Fig. 4 — estimator NRMSE on the Table 1 empirical graphs.
+
+For each of the four graphs (Facebook New Orleans, Facebook Texas,
+Epinions, P2P), categories are the ``top`` largest leading-eigenvector
+communities plus a catch-all (the paper's worst case for star
+sampling), and samples come from UIS, RW and S-WRW. The top row plots
+median NRMSE of the size estimators across categories; the bottom row
+the median NRMSE of the weight estimators across category pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.categories import worst_case_categories
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ScalePreset, active_preset
+from repro.rng import derive_rng
+from repro.sampling.independence import UniformIndependenceSampler
+from repro.sampling.stratified import StratifiedWeightedWalkSampler
+from repro.sampling.walks import RandomWalkSampler
+from repro.stats.replication import run_nrmse_sweep
+
+__all__ = ["run_fig4", "FIG4_SAMPLERS"]
+
+FIG4_SAMPLERS = ("UIS", "RW", "S-WRW")
+
+
+def run_fig4(
+    datasets: tuple[str, ...] | None = None,
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Regenerate Fig. 4.
+
+    Returns two results per dataset: ``fig4_<name>_sizes`` (top row) and
+    ``fig4_<name>_weights`` (bottom row), each with one series per
+    (sampler, measurement) combination.
+    """
+    preset = preset or active_preset()
+    names = datasets or dataset_names()
+    results: dict[str, ExperimentResult] = {}
+    for di, name in enumerate(names):
+        graph, spec = load_dataset(
+            name, scale=preset.dataset_scale, rng=derive_rng(rng, 40, di)
+        )
+        partition = worst_case_categories(
+            graph, top=preset.community_top, rng=derive_rng(rng, 41, di)
+        )
+        sizes = tuple(
+            s for s in preset.fig4_sample_sizes if s <= 3 * graph.num_nodes
+        ) or (graph.num_nodes,)
+        size_series: dict[str, tuple] = {}
+        weight_series: dict[str, tuple] = {}
+        for mi, sampler_name in enumerate(FIG4_SAMPLERS):
+            factory = _sampler_factory(sampler_name, graph, partition)
+            sweep = run_nrmse_sweep(
+                graph,
+                partition,
+                factory,
+                sizes,
+                replications=preset.replications,
+                rng=derive_rng(rng, 42, di * 10 + mi),
+            )
+            for kind in ("induced", "star"):
+                size_series[f"{sampler_name}/{kind}"] = (
+                    sweep.sample_sizes,
+                    sweep.median_size_nrmse(kind),
+                )
+                weight_series[f"{sampler_name}/{kind}"] = (
+                    sweep.sample_sizes,
+                    sweep.median_weight_nrmse(kind),
+                )
+        note = {
+            "dataset": name,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "categories": partition.num_categories,
+            "scale": preset.name,
+        }
+        results[f"fig4_{name}_sizes"] = ExperimentResult(
+            experiment_id=f"fig4_{name}_sizes",
+            title=f"median NRMSE(|A|) vs |S| on {name} ({spec.description})",
+            series=size_series,
+            notes=note,
+        )
+        results[f"fig4_{name}_weights"] = ExperimentResult(
+            experiment_id=f"fig4_{name}_weights",
+            title=f"median NRMSE(w) vs |S| on {name} ({spec.description})",
+            series=weight_series,
+            notes=note,
+        )
+    return results
+
+
+def _sampler_factory(name: str, graph, partition):
+    if name == "UIS":
+        return lambda: UniformIndependenceSampler(graph)
+    if name == "RW":
+        return lambda: RandomWalkSampler(graph)
+    if name == "S-WRW":
+        # Equal category weights, as in the paper's Section 6.3.1
+        # ("we use equal category weights for all categories").
+        return lambda: StratifiedWeightedWalkSampler(graph, partition)
+    raise ValueError(f"unknown sampler {name!r}")

@@ -1,0 +1,53 @@
+"""Fig. 5 — number of samples per category in the Facebook crawls.
+
+The paper plots, for each crawl dataset, the (sorted) number of draws
+landing in each regional network (2009, top) or college (2010, bottom),
+showing (i) decades of spread across categories and (ii) S-WRW's
+order-of-magnitude boost of small-college coverage over RW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.shared import build_world_and_crawls
+
+__all__ = ["run_fig5"]
+
+
+def run_fig5(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Regenerate Fig. 5(a) (2009 regions) and 5(b) (2010 colleges)."""
+    preset = preset or active_preset()
+    world, datasets = build_world_and_crawls(preset, rng)
+    results: dict[str, ExperimentResult] = {}
+    for panel, year, partition, catchall in (
+        ("a", 2009, world.regions_2009, world.undeclared_index),
+        ("b", 2010, world.colleges_2010, world.none_college_index),
+    ):
+        series = {}
+        for name, dataset in datasets.items():
+            if dataset.year != year:
+                continue
+            counts = np.zeros(partition.num_categories, dtype=np.int64)
+            for walk in dataset.walks:
+                np.add.at(counts, partition.labels[walk.nodes], 1)
+            per_category = np.delete(counts, catchall)
+            ordered = np.sort(per_category)[::-1].astype(float)
+            ranks = np.arange(1, len(ordered) + 1, dtype=float)
+            series[name] = (ranks, ordered)
+        results[f"fig5{panel}"] = ExperimentResult(
+            experiment_id=f"fig5{panel}",
+            title=f"samples per category (sorted), {year} datasets",
+            series=series,
+            notes={
+                "categories": partition.num_categories - 1,
+                "scale": preset.name,
+            },
+            log_axes=True,
+        )
+    return results

@@ -1,0 +1,144 @@
+"""Fig. 7 — the geosocial category graphs (www.geosocialmap.com data).
+
+Regenerates the three published maps from simulated crawls:
+
+* (a) country-to-country friendship graph;
+* (b) North-America (US/Canada county-level) graph;
+* (c) college-to-college graph (from S-WRW10).
+
+Each result carries the top-weighted edges as a table, a JSON export of
+the full weighted graph, and the distance-vs-weight rank correlation
+that formalises the paper's visual "physical distance matters" claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.shared import build_world_and_crawls
+from repro.facebook.geosocial import (
+    country_partition,
+    distance_weight_correlation,
+    estimate_college_graph,
+    estimate_country_graph,
+    estimate_north_america_graph,
+)
+from repro.graph.category_graph import true_category_graph
+from repro.graph.io import category_graph_to_json
+
+__all__ = ["run_fig7"]
+
+
+def run_fig7(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+    top_edges: int = 15,
+) -> dict[str, ExperimentResult]:
+    """Regenerate Fig. 7 panels a-c."""
+    preset = preset or active_preset()
+    world, datasets = build_world_and_crawls(preset, rng)
+    results: dict[str, ExperimentResult] = {}
+
+    # ------------------------------------------------------------ (a)
+    countries = estimate_country_graph(world, datasets)
+    country_pos = _country_positions(world, countries.names)
+    corr_a = distance_weight_correlation(world, countries, country_pos)
+    truth_a = true_category_graph(world.graph, country_partition(world))
+    results["fig7a"] = _result(
+        "fig7a",
+        "country-to-country friendship graph",
+        countries,
+        top_edges,
+        {
+            "distance_weight_rank_corr": round(corr_a, 3),
+            "true_corr": round(
+                distance_weight_correlation(world, truth_a, country_pos), 3
+            ),
+        },
+    )
+
+    # ------------------------------------------------------------ (b)
+    north_america = estimate_north_america_graph(world, datasets)
+    na_pos = _region_positions(world, north_america.names)
+    corr_b = distance_weight_correlation(world, north_america, na_pos)
+    results["fig7b"] = _result(
+        "fig7b",
+        "North-America county-level friendship graph",
+        north_america,
+        top_edges,
+        {"distance_weight_rank_corr": round(corr_b, 3)},
+    )
+
+    # ------------------------------------------------------------ (c)
+    colleges = estimate_college_graph(world, datasets)
+    college_pos = _college_positions(world, colleges.names)
+    corr_c = distance_weight_correlation(world, colleges, college_pos)
+    results["fig7c"] = _result(
+        "fig7c",
+        "college-to-college friendship graph (S-WRW10)",
+        colleges,
+        top_edges,
+        {"distance_weight_rank_corr": round(corr_c, 3)},
+    )
+    return results
+
+
+def _result(experiment_id, title, category_graph, top_edges, extra_notes):
+    rows = [
+        (a, b, round(w, 6))
+        for a, b, w in category_graph.top_edges(top_edges)
+    ]
+    notes = {
+        "categories": category_graph.num_categories,
+        "edges": category_graph.num_edges(),
+        "geosocialmap_json_bytes": len(category_graph_to_json(category_graph)),
+        **extra_notes,
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        table=(("category A", "category B", "estimated w(A,B)"), rows),
+        notes=notes,
+    )
+
+
+def _country_positions(world, names) -> np.ndarray:
+    positions = np.full(len(names), np.nan)
+    country_pos = {}
+    for r, country in enumerate(world.region_country):
+        code = world.country_names[country]
+        country_pos.setdefault(code, float(world.region_position[r]))
+    for i, name in enumerate(names):
+        if name in country_pos:
+            positions[i] = country_pos[name]
+    return positions
+
+
+def _region_positions(world, names) -> np.ndarray:
+    positions = np.full(len(names), np.nan)
+    lookup = {
+        f"{world.country_names[world.region_country[r]]}.r{r}": float(
+            world.region_position[r]
+        )
+        for r in range(len(world.region_country))
+    }
+    for i, name in enumerate(names):
+        if name in lookup:
+            positions[i] = lookup[name]
+    return positions
+
+
+def _college_positions(world, names) -> np.ndarray:
+    country_first_pos: dict[int, float] = {}
+    for r, country in enumerate(world.region_country):
+        country_first_pos.setdefault(int(country), float(world.region_position[r]))
+    positions = np.full(len(names), np.nan)
+    for g in range(len(world.college_country)):
+        name = f"College{g}_{world.country_names[world.college_country[g]]}"
+        if name in names:
+            positions[names.index(name)] = country_first_pos[
+                int(world.college_country[g])
+            ]
+    return positions

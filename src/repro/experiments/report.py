@@ -1,0 +1,76 @@
+"""Full reproduction report: run everything, write one markdown file.
+
+``repro report --out results/`` (or :func:`generate_report`) runs every
+registered experiment at the active scale, saves each result's CSV/JSON
+series, and assembles a single ``REPORT.md`` with the rendered tables
+and charts — a self-contained artifact for sharing a reproduction run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentResult,
+    ScalePreset,
+    active_preset,
+    experiment_ids,
+    run_experiment,
+)
+
+__all__ = ["generate_report", "REPORT_EXPERIMENTS"]
+
+#: Experiments included in the full report ("fig3" covers its panels).
+REPORT_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+)
+
+
+def generate_report(
+    directory: "str | Path",
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+    experiments: tuple[str, ...] = REPORT_EXPERIMENTS,
+) -> Path:
+    """Run ``experiments`` and write ``REPORT.md`` (plus per-result data).
+
+    Returns the path of the written report.
+    """
+    preset = preset or active_preset()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sections: list[str] = [
+        "# Reproduction report",
+        "",
+        f"- scale preset: `{preset.name}`",
+        f"- master seed: `{rng}`",
+        f"- generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        "",
+        "Regenerate any section with `repro run <id>`; see EXPERIMENTS.md "
+        "for the paper-vs-measured discussion.",
+        "",
+    ]
+    for experiment in experiments:
+        if experiment not in experiment_ids():
+            raise ValueError(f"unknown experiment {experiment!r}")
+        started = time.time()
+        results = run_experiment(experiment, preset=preset, rng=rng)
+        elapsed = time.time() - started
+        sections.append(f"## {experiment}  ({elapsed:.1f}s)")
+        sections.append("")
+        for result in results.values():
+            result.save(directory)
+            sections.append("```")
+            sections.append(result.render())
+            sections.append("```")
+            sections.append("")
+    report_path = directory / "REPORT.md"
+    report_path.write_text("\n".join(sections))
+    return report_path

@@ -1,0 +1,51 @@
+"""Shared (cached) heavy inputs for the Facebook experiments.
+
+Table 2 and Figs. 5-7 all need the same synthetic world and simulated
+crawls; building them once per (preset, seed) keeps the bench suite
+fast without hiding any state inside the drivers.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments.config import ScalePreset
+from repro.facebook.crawls import CrawlDataset, simulate_crawl_datasets
+from repro.facebook.model import (
+    FacebookModelConfig,
+    FacebookWorld,
+    build_facebook_world,
+)
+from repro.rng import derive_rng
+
+__all__ = ["build_world_and_crawls"]
+
+
+@functools.lru_cache(maxsize=4)
+def _cached(preset_name: str, facebook_scale: int, walks_2009: int,
+            walks_2010: int, samples_per_walk: int, rng: int):
+    world = build_facebook_world(
+        FacebookModelConfig(scale=facebook_scale), rng=derive_rng(rng, 70)
+    )
+    datasets = simulate_crawl_datasets(
+        world,
+        samples_per_walk=samples_per_walk,
+        num_walks_2009=walks_2009,
+        num_walks_2010=walks_2010,
+        rng=derive_rng(rng, 71),
+    )
+    return world, datasets
+
+
+def build_world_and_crawls(
+    preset: ScalePreset, rng: int = 0
+) -> tuple[FacebookWorld, dict[str, CrawlDataset]]:
+    """The synthetic world plus all five Table 2 crawl datasets."""
+    return _cached(
+        preset.name,
+        preset.facebook_scale,
+        preset.walks_2009,
+        preset.walks_2010,
+        preset.samples_per_walk,
+        rng,
+    )

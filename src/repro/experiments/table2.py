@@ -1,0 +1,67 @@
+"""Table 2 — the Facebook crawl datasets.
+
+Regenerates the crawl-collection summary on the synthetic world. The
+"% categ. samples" column is *emergent* (it depends on the crawl
+design meeting the category structure), so the paper's published
+percentages are shown alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.shared import build_world_and_crawls
+from repro.facebook.crawls import category_sample_fraction
+
+__all__ = ["run_table2"]
+
+#: Published Table 2 percentages for reference.
+_PAPER_FRACTIONS = {
+    "MHRW09": 0.34,
+    "RW09": 0.41,
+    "UIS09": 0.34,
+    "RW10": 0.09,
+    "S-WRW10": 0.86,
+}
+
+
+def run_table2(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table 2 on the synthetic Facebook world."""
+    preset = preset or active_preset()
+    world, datasets = build_world_and_crawls(preset, rng)
+    rows = []
+    for name in ("MHRW09", "RW09", "UIS09", "RW10", "S-WRW10"):
+        dataset = datasets[name]
+        measured = category_sample_fraction(world, dataset)
+        rows.append(
+            (
+                name,
+                2009 if dataset.year == 2009 else 2010,
+                dataset.num_walks,
+                dataset.samples_per_walk,
+                f"{100 * measured:.0f}%",
+                f"{100 * _PAPER_FRACTIONS[name]:.0f}%",
+            )
+        )
+    headers = (
+        "crawl",
+        "year",
+        "walks",
+        "samples/walk",
+        "% categ (ours)",
+        "% categ (paper)",
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Facebook crawl datasets (simulated, Table 2 layout)",
+        table=(headers, rows),
+        notes={
+            "users": world.graph.num_nodes,
+            "regions": world.regions_2009.num_categories - 1,
+            "colleges": world.colleges_2010.num_categories - 1,
+            "scale": preset.name,
+        },
+    )

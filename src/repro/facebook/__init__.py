@@ -1,0 +1,35 @@
+"""Synthetic Facebook substrate for the paper's Section 7."""
+
+from repro.facebook.crawls import (
+    CrawlDataset,
+    category_sample_fraction,
+    simulate_crawl_datasets,
+)
+from repro.facebook.geosocial import (
+    country_partition,
+    distance_weight_correlation,
+    estimate_college_graph,
+    estimate_country_graph,
+    estimate_north_america_graph,
+    north_america_partition,
+)
+from repro.facebook.model import (
+    FacebookModelConfig,
+    FacebookWorld,
+    build_facebook_world,
+)
+
+__all__ = [
+    "FacebookModelConfig",
+    "FacebookWorld",
+    "build_facebook_world",
+    "CrawlDataset",
+    "simulate_crawl_datasets",
+    "category_sample_fraction",
+    "country_partition",
+    "north_america_partition",
+    "estimate_country_graph",
+    "estimate_north_america_graph",
+    "estimate_college_graph",
+    "distance_weight_correlation",
+]

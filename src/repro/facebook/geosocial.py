@@ -1,0 +1,199 @@
+"""Geosocial category graphs (Section 7.3 / Fig. 7 of the paper).
+
+Three deliverables, mirroring the paper's pipeline exactly:
+
+* **country graph** (Fig. 7a) — regions merged per country; sizes from
+  the UIS09 *induced* estimator (which the paper found best, Fig. 6a);
+  weights from the *star* estimators of each 2009 crawl, averaged;
+* **North America graph** (Fig. 7b) — US and Canada regions at county
+  granularity, everything else lumped;
+* **US college graph** (Fig. 7c) — sizes and weights from the *star*
+  estimators on the S-WRW10 walks only (the paper dropped RW10), then
+  averaged across walks.
+
+The paper published these as www.geosocialmap.com; we export the same
+weighted graphs as JSON (:func:`repro.graph.io.category_graph_to_json`).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.core.category_size import estimate_sizes_induced, estimate_sizes_star
+from repro.core.edge_weight import estimate_weights_star
+from repro.exceptions import EstimationError
+from repro.facebook.crawls import CrawlDataset
+from repro.facebook.model import FacebookWorld
+from repro.graph.category_graph import CategoryGraph
+from repro.graph.partition import CategoryPartition
+from repro.sampling.observation import observe_star
+
+__all__ = [
+    "country_partition",
+    "north_america_partition",
+    "estimate_country_graph",
+    "estimate_north_america_graph",
+    "estimate_college_graph",
+    "distance_weight_correlation",
+]
+
+
+def country_partition(world: FacebookWorld) -> CategoryPartition:
+    """Merge the 2009 regional categories into country categories."""
+    groups: dict[str, list[str]] = {code: [] for code in world.country_names}
+    for r in range(len(world.region_country)):
+        code = world.country_names[world.region_country[r]]
+        groups[code].append(f"{code}.r{r}")
+    groups = {code: names for code, names in groups.items() if names}
+    groups["Undeclared"] = ["Undeclared"]
+    return world.regions_2009.merge(groups)
+
+
+def north_america_partition(world: FacebookWorld) -> CategoryPartition:
+    """US/Canada regions kept at county granularity; the rest lumped."""
+    na_codes = ("US", "CA")
+    groups: dict[str, list[str]] = {"elsewhere": ["Undeclared"]}
+    for r in range(len(world.region_country)):
+        code = world.country_names[world.region_country[r]]
+        name = f"{code}.r{r}"
+        if code in na_codes:
+            groups[name] = [name]
+        else:
+            groups["elsewhere"].append(name)
+    return world.regions_2009.merge(groups)
+
+
+def estimate_country_graph(
+    world: FacebookWorld,
+    datasets: dict[str, CrawlDataset],
+    max_walks: int | None = None,
+) -> CategoryGraph:
+    """Fig. 7a pipeline: country sizes via UIS09-induced, weights via
+    star estimators averaged over the 2009 crawls."""
+    partition = country_partition(world)
+    return _estimate_merged_graph(
+        world,
+        partition,
+        datasets,
+        size_dataset="UIS09",
+        weight_datasets=("UIS09", "MHRW09", "RW09"),
+        max_walks=max_walks,
+    )
+
+
+def estimate_north_america_graph(
+    world: FacebookWorld,
+    datasets: dict[str, CrawlDataset],
+    max_walks: int | None = None,
+) -> CategoryGraph:
+    """Fig. 7b pipeline (same steps as 7a, county-level partition)."""
+    partition = north_america_partition(world)
+    return _estimate_merged_graph(
+        world,
+        partition,
+        datasets,
+        size_dataset="UIS09",
+        weight_datasets=("UIS09", "MHRW09", "RW09"),
+        max_walks=max_walks,
+    )
+
+
+def estimate_college_graph(
+    world: FacebookWorld,
+    datasets: dict[str, CrawlDataset],
+    max_walks: int | None = None,
+) -> CategoryGraph:
+    """Fig. 7c pipeline: college sizes and weights from S-WRW10 star
+    estimators, averaged across walks."""
+    if "S-WRW10" not in datasets:
+        raise EstimationError("the college graph needs the 'S-WRW10' dataset")
+    partition = world.colleges_2010
+    n_pop = world.graph.num_nodes
+    walks = datasets["S-WRW10"].walks[:max_walks]
+    size_stack, weight_stack = [], []
+    for walk in walks:
+        observation = observe_star(world.graph, partition, walk)
+        sizes = estimate_sizes_star(observation, n_pop)
+        size_stack.append(sizes)
+        weight_stack.append(estimate_weights_star(observation, sizes))
+    sizes = _nanmean_quiet(np.stack(size_stack))
+    weights = _nanmean_quiet(np.stack(weight_stack))
+    with np.errstate(invalid="ignore"):
+        cuts = weights * np.outer(sizes, sizes)
+    return CategoryGraph(sizes, weights, names=partition.names, cuts=cuts)
+
+
+def distance_weight_correlation(
+    world: FacebookWorld, category_graph: CategoryGraph, positions: np.ndarray
+) -> float:
+    """Spearman-style rank correlation of edge weight vs geo distance.
+
+    Negative values confirm the paper's Fig. 7 observation that physical
+    distance suppresses tie probability. ``positions`` gives the geo
+    coordinate of each category in ``category_graph``.
+    """
+    weights, distances = [], []
+    for a, b, w in category_graph.edges():
+        if not (np.isfinite(positions[a]) and np.isfinite(positions[b])):
+            continue
+        weights.append(w)
+        distances.append(abs(positions[a] - positions[b]))
+    if len(weights) < 3:
+        raise EstimationError("not enough category-graph edges for a correlation")
+    ranks_w = np.argsort(np.argsort(weights)).astype(float)
+    ranks_d = np.argsort(np.argsort(distances)).astype(float)
+    rw = ranks_w - ranks_w.mean()
+    rd = ranks_d - ranks_d.mean()
+    denom = np.sqrt(np.dot(rw, rw) * np.dot(rd, rd))
+    if denom == 0:
+        return 0.0
+    return float(np.dot(rw, rd) / denom)
+
+
+def _estimate_merged_graph(
+    world: FacebookWorld,
+    partition: CategoryPartition,
+    datasets: dict[str, CrawlDataset],
+    size_dataset: str,
+    weight_datasets: tuple[str, ...],
+    max_walks: int | None,
+) -> CategoryGraph:
+    """Shared Fig. 7a/7b machinery."""
+    available = [name for name in weight_datasets if name in datasets]
+    if size_dataset not in datasets or not available:
+        raise EstimationError(
+            f"need dataset {size_dataset!r} plus at least one of "
+            f"{weight_datasets} to estimate this graph"
+        )
+    graph = world.graph
+    n_pop = graph.num_nodes
+
+    # Sizes: induced estimator on the UIS09 sample (paper Sec. 7.3.1).
+    size_walks = datasets[size_dataset].walks[:max_walks]
+    size_stack = [
+        estimate_sizes_induced(
+            observe_star(graph, partition, walk), n_pop
+        )
+        for walk in size_walks
+    ]
+    sizes = _nanmean_quiet(np.stack(size_stack))
+
+    # Weights: star estimators fed the estimated sizes, averaged over
+    # the crawl types (paper averages UIS, MHRW and RW estimates).
+    weight_stack = []
+    for name in available:
+        for walk in datasets[name].walks[:max_walks]:
+            observation = observe_star(graph, partition, walk)
+            weight_stack.append(estimate_weights_star(observation, sizes))
+    weights = _nanmean_quiet(np.stack(weight_stack))
+    with np.errstate(invalid="ignore"):
+        cuts = weights * np.outer(sizes, sizes)
+    return CategoryGraph(sizes, weights, names=partition.names, cuts=cuts)
+
+def _nanmean_quiet(stack: np.ndarray) -> np.ndarray:
+    """nanmean that tolerates all-nan columns (never-sampled categories)."""
+    with warnings.catch_warnings():
+        warnings.filterwarnings("ignore", message="Mean of empty slice")
+        return np.nanmean(stack, axis=0)

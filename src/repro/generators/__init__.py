@@ -1,0 +1,37 @@
+"""Synthetic graph generators.
+
+The headline generator is :func:`planted_category_graph` — the paper's
+Section 6.2.1 model. The rest (ER, BA, configuration model, SBM,
+k-regular) are substrates used by the dataset stand-ins, the Facebook
+model, and the ablation benches.
+"""
+
+from repro.generators.ba import barabasi_albert_graph
+from repro.generators.configuration import (
+    configuration_model_graph,
+    power_law_degree_sequence,
+)
+from repro.generators.er import gnm, gnp, random_cross_edges
+from repro.generators.planted import (
+    PAPER_CATEGORY_SIZES,
+    PlantedModelConfig,
+    planted_category_graph,
+)
+from repro.generators.regular import random_regular_edges, random_regular_graph
+from repro.generators.sbm import planted_partition_graph, stochastic_block_model
+
+__all__ = [
+    "PAPER_CATEGORY_SIZES",
+    "PlantedModelConfig",
+    "planted_category_graph",
+    "random_regular_graph",
+    "random_regular_edges",
+    "gnp",
+    "gnm",
+    "random_cross_edges",
+    "barabasi_albert_graph",
+    "configuration_model_graph",
+    "power_law_degree_sequence",
+    "stochastic_block_model",
+    "planted_partition_graph",
+]

@@ -1,0 +1,147 @@
+"""Erdos-Renyi random graphs: G(n, p) and G(n, m)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.graph.adjacency import Graph
+from repro.rng import ensure_rng
+
+__all__ = ["gnp", "gnm", "random_cross_edges"]
+
+
+def gnp(n: int, p: float, rng: np.random.Generator | int | None = None) -> Graph:
+    """G(n, p): each of the ``n(n-1)/2`` pairs is an edge with prob. ``p``.
+
+    Uses geometric skipping, so the cost is O(n + |E|) rather than O(n^2).
+    """
+    gen = ensure_rng(rng)
+    if not 0.0 <= p <= 1.0:
+        raise GenerationError(f"p must be in [0, 1], got {p}")
+    if n < 0:
+        raise GenerationError(f"n must be non-negative, got {n}")
+    if n < 2 or p == 0.0:
+        return Graph.empty(n)
+    total_pairs = n * (n - 1) // 2
+    if p == 1.0:
+        rows, cols = np.triu_indices(n, k=1)
+        return Graph.from_edges(n, np.column_stack((rows, cols)))
+    # Sample the flat indices of chosen pairs by geometric gap skipping.
+    chosen: list[int] = []
+    log_q = np.log1p(-p)
+    position = -1
+    while True:
+        gap = int(np.floor(np.log(1.0 - gen.random()) / log_q))
+        position += gap + 1
+        if position >= total_pairs:
+            break
+        chosen.append(position)
+    if not chosen:
+        return Graph.empty(n)
+    flat = np.asarray(chosen, dtype=np.int64)
+    rows, cols = _unrank_pairs(flat, n)
+    return Graph.from_edges(n, np.column_stack((rows, cols)))
+
+
+def gnm(n: int, m: int, rng: np.random.Generator | int | None = None) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    gen = ensure_rng(rng)
+    if n < 0:
+        raise GenerationError(f"n must be non-negative, got {n}")
+    total_pairs = n * (n - 1) // 2
+    if not 0 <= m <= total_pairs:
+        raise GenerationError(
+            f"m must be in [0, {total_pairs}] for n={n}, got {m}"
+        )
+    if m == 0:
+        return Graph.empty(n)
+    if total_pairs <= 4 * m:
+        # Dense regime: permute all pair indices.
+        flat = gen.permutation(total_pairs)[:m].astype(np.int64)
+    else:
+        # Sparse regime: rejection sample distinct flat indices.
+        seen: set[int] = set()
+        while len(seen) < m:
+            needed = m - len(seen)
+            draws = gen.integers(0, total_pairs, size=2 * needed + 8)
+            for d in draws:
+                seen.add(int(d))
+                if len(seen) == m:
+                    break
+        flat = np.fromiter(seen, dtype=np.int64, count=m)
+    rows, cols = _unrank_pairs(flat, n)
+    return Graph.from_edges(n, np.column_stack((rows, cols)))
+
+
+def random_cross_edges(
+    groups_a: np.ndarray,
+    groups_b: np.ndarray,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+    forbid: "set[tuple[int, int]] | None" = None,
+) -> np.ndarray:
+    """``count`` distinct random edges with one endpoint in each group.
+
+    Used by the planted model to wire categories together; ``forbid``
+    lets callers exclude already-existing edges. Groups may overlap (the
+    paper's "random edges between nodes in different categories" uses
+    the whole node set on both sides and a forbid set of intra pairs is
+    not needed because endpoints are drawn from *different* categories
+    by the caller).
+    """
+    gen = ensure_rng(rng)
+    groups_a = np.asarray(groups_a, dtype=np.int64)
+    groups_b = np.asarray(groups_b, dtype=np.int64)
+    if count < 0:
+        raise GenerationError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if len(groups_a) == 0 or len(groups_b) == 0:
+        raise GenerationError("both endpoint groups must be non-empty")
+    seen: set[tuple[int, int]] = set()
+    forbid = forbid or set()
+    out = np.empty((count, 2), dtype=np.int64)
+    filled = 0
+    attempts = 0
+    max_attempts = 100 * count + 1000
+    while filled < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise GenerationError(
+                "could not place the requested number of distinct cross edges"
+            )
+        u = int(groups_a[gen.integers(0, len(groups_a))])
+        v = int(groups_b[gen.integers(0, len(groups_b))])
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen or key in forbid:
+            continue
+        seen.add(key)
+        out[filled] = key
+        filled += 1
+    return out
+
+
+def _unrank_pairs(flat: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map flat indices in ``[0, n(n-1)/2)`` to (row, col) with row < col.
+
+    The pair (i, j), i < j, has flat rank ``i*n - i(i+3)/2 + j - 1``.
+    Inverted in closed form via the quadratic formula (float64 is exact
+    for the n <= ~1e6 range this library targets, with a correction step
+    for safety).
+    """
+    flat = flat.astype(np.float64)
+    b = 2 * n - 1
+    i = np.floor((b - np.sqrt(b * b - 8 * flat)) / 2).astype(np.int64)
+    # Correct any off-by-one from float rounding.
+    def start(row: np.ndarray) -> np.ndarray:
+        return row * n - (row * (row + 1)) // 2
+
+    while np.any(start(i + 1) <= flat):
+        i = np.where(start(i + 1) <= flat, i + 1, i)
+    while np.any(start(i) > flat):
+        i = np.where(start(i) > flat, i - 1, i)
+    j = (flat - start(i)).astype(np.int64) + i + 1
+    return i, j

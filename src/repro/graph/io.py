@@ -1,0 +1,150 @@
+"""Graph and partition persistence.
+
+Three formats:
+
+* **edge list** — whitespace-separated ``u v`` per line, ``#`` comments
+  (the SNAP convention used by the paper's empirical datasets);
+* **label file** — one category name per node, line ``v name``;
+* **NPZ bundle** — fast binary round-trip of a graph plus optional
+  partition, used by the dataset cache.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.graph.partition import CategoryPartition
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_labels",
+    "write_labels",
+    "save_npz",
+    "load_npz",
+    "category_graph_to_json",
+]
+
+
+def read_edge_list(path: "str | Path", num_nodes: int | None = None) -> Graph:
+    """Read a whitespace-separated edge list.
+
+    Node ids must be non-negative integers. ``num_nodes`` defaults to
+    ``max(id) + 1``. Lines starting with ``#`` and blank lines are
+    skipped; self-loops are dropped (SNAP dumps occasionally contain
+    them) rather than rejected.
+    """
+    path = Path(path)
+    rows: list[tuple[int, int]] = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {text!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u != v:
+                rows.append((u, v))
+    if not rows:
+        return Graph.empty(num_nodes or 0)
+    arr = np.asarray(rows, dtype=np.int64)
+    inferred = int(arr.max()) + 1
+    if num_nodes is None:
+        num_nodes = inferred
+    elif num_nodes < inferred:
+        raise GraphError(
+            f"num_nodes={num_nodes} but the file references node {inferred - 1}"
+        )
+    return Graph.from_edges(num_nodes, arr)
+
+
+def write_edge_list(graph: Graph, path: "str | Path", header: str | None = None) -> None:
+    """Write ``u v`` lines (``u < v``), with an optional ``#`` header."""
+    path = Path(path)
+    with path.open("w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v in graph.edge_array():
+            handle.write(f"{u} {v}\n")
+
+
+def read_labels(path: "str | Path", num_nodes: int) -> CategoryPartition:
+    """Read a ``v name`` label file into a partition."""
+    path = Path(path)
+    mapping: dict[int, str] = {}
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split(maxsplit=1)
+            if len(parts) != 2:
+                raise GraphError(f"{path}:{lineno}: expected 'v name', got {text!r}")
+            mapping[int(parts[0])] = parts[1]
+    return CategoryPartition.from_mapping(num_nodes, mapping)
+
+
+def write_labels(partition: CategoryPartition, path: "str | Path") -> None:
+    """Write the partition as ``v name`` lines."""
+    path = Path(path)
+    names = partition.names
+    with path.open("w") as handle:
+        for v, label in enumerate(partition.labels):
+            handle.write(f"{v} {names[label]}\n")
+
+
+def save_npz(
+    path: "str | Path", graph: Graph, partition: CategoryPartition | None = None
+) -> None:
+    """Binary round-trip bundle (graph CSR + optional partition)."""
+    payload: dict[str, np.ndarray] = {
+        "indptr": np.asarray(graph.indptr),
+        "indices": np.asarray(graph.indices),
+    }
+    if partition is not None:
+        payload["labels"] = np.asarray(partition.labels)
+        payload["names"] = np.asarray(partition.names, dtype=object)
+    np.savez_compressed(Path(path), **payload, allow_pickle=True)
+
+
+def load_npz(path: "str | Path") -> tuple[Graph, CategoryPartition | None]:
+    """Load a bundle written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        graph = Graph(data["indptr"], data["indices"], validate=False)
+        partition = None
+        if "labels" in data:
+            names = [str(s) for s in data["names"]]
+            partition = CategoryPartition(data["labels"], names=names)
+    return graph, partition
+
+
+def category_graph_to_json(category_graph, min_weight: float = 0.0) -> str:
+    """Serialise a :class:`~repro.graph.category_graph.CategoryGraph`.
+
+    The JSON schema mirrors what a geosocialmap-style front-end needs:
+    a ``nodes`` list (name + size) and a ``links`` list (source, target,
+    weight), with links below ``min_weight`` dropped.
+    """
+    nodes = [
+        {"name": name, "size": float(size)}
+        for name, size in zip(category_graph.names, category_graph.sizes)
+    ]
+    links = [
+        {
+            "source": category_graph.names[a],
+            "target": category_graph.names[b],
+            "weight": w,
+        }
+        for a, b, w in category_graph.edges()
+        if w >= min_weight
+    ]
+    return json.dumps({"nodes": nodes, "links": links}, indent=2)

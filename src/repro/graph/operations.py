@@ -1,0 +1,134 @@
+"""Structural operations on :class:`~repro.graph.adjacency.Graph`.
+
+Connected components, induced subgraphs, degree statistics, and the
+connectivity checks that random-walk samplers rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "induced_subgraph",
+    "degree_histogram",
+    "DegreeStats",
+    "degree_stats",
+]
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component id per node (ids are ``0..num_components-1``).
+
+    Iterative BFS over the CSR arrays — no recursion, linear time.
+    """
+    n = graph.num_nodes
+    comp = np.full(n, -1, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    current = 0
+    stack: list[int] = []
+    for start in range(n):
+        if comp[start] != -1:
+            continue
+        comp[start] = current
+        stack.append(start)
+        while stack:
+            v = stack.pop()
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if comp[u] == -1:
+                    comp[u] = current
+                    stack.append(int(u))
+        current += 1
+    return comp
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has exactly one connected component.
+
+    The empty graph is considered connected (vacuously).
+    """
+    if graph.num_nodes == 0:
+        return True
+    comp = connected_components(graph)
+    return int(comp.max()) == 0
+
+
+def largest_component(graph: Graph) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest component.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    id in ``graph`` of node ``i`` in the subgraph.
+    """
+    if graph.num_nodes == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    comp = connected_components(graph)
+    counts = np.bincount(comp)
+    keep = np.flatnonzero(comp == int(np.argmax(counts)))
+    return induced_subgraph(graph, keep), keep
+
+
+def induced_subgraph(graph: Graph, nodes: np.ndarray) -> Graph:
+    """Subgraph induced on ``nodes``; ids are compacted to ``0..len-1``.
+
+    ``nodes`` must be unique. The mapping follows the order of ``nodes``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if len(np.unique(nodes)) != len(nodes):
+        raise GraphError("induced_subgraph requires unique node ids")
+    if len(nodes) and (nodes.min() < 0 or nodes.max() >= graph.num_nodes):
+        raise GraphError("induced_subgraph received ids outside the graph")
+    remap = np.full(graph.num_nodes, -1, dtype=np.int64)
+    remap[nodes] = np.arange(len(nodes))
+    edges = graph.edge_array()
+    if len(edges):
+        mask = (remap[edges[:, 0]] >= 0) & (remap[edges[:, 1]] >= 0)
+        kept = np.column_stack((remap[edges[mask, 0]], remap[edges[mask, 1]]))
+    else:
+        kept = np.empty((0, 2), dtype=np.int64)
+    return Graph.from_edges(len(nodes), kept)
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of nodes with degree ``d``."""
+    degs = graph.degrees()
+    if len(degs) == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degs)
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary degree statistics of a graph."""
+
+    mean: float
+    median: float
+    minimum: int
+    maximum: int
+    std: float
+
+    def __str__(self) -> str:
+        return (
+            f"degree mean={self.mean:.2f} median={self.median:.1f} "
+            f"min={self.minimum} max={self.maximum} std={self.std:.2f}"
+        )
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Compute :class:`DegreeStats`; raises on the empty graph."""
+    degs = graph.degrees()
+    if len(degs) == 0:
+        raise GraphError("degree_stats is undefined for the empty graph")
+    return DegreeStats(
+        mean=float(degs.mean()),
+        median=float(np.median(degs)),
+        minimum=int(degs.min()),
+        maximum=int(degs.max()),
+        std=float(degs.std()),
+    )

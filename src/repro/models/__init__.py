@@ -1,0 +1,9 @@
+"""Model-based follow-ups (the paper's Section 9 applications)."""
+
+from repro.models.gravity import (
+    GravityFit,
+    fit_gravity_model,
+    pair_distance_feature,
+)
+
+__all__ = ["GravityFit", "fit_gravity_model", "pair_distance_feature"]

@@ -1,0 +1,53 @@
+"""Sampling designs and measurement scenarios (Section 3 of the paper)."""
+
+from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.convergence import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+    recommend_thinning,
+)
+from repro.sampling.independence import (
+    UniformIndependenceSampler,
+    WeightedIndependenceSampler,
+)
+from repro.sampling.observation import (
+    InducedObservation,
+    StarObservation,
+    observe_induced,
+    observe_star,
+)
+from repro.sampling.merge import merge_star_observations
+from repro.sampling.multigraph import MultigraphRandomWalkSampler
+from repro.sampling.stratified import StratifiedWeightedWalkSampler
+from repro.sampling.traversal import BreadthFirstSampler, ForestFireSampler
+from repro.sampling.walks import (
+    MetropolisHastingsSampler,
+    RandomWalkSampler,
+    RandomWalkWithJumpsSampler,
+    WeightedRandomWalkSampler,
+)
+
+__all__ = [
+    "NodeSample",
+    "Sampler",
+    "UniformIndependenceSampler",
+    "WeightedIndependenceSampler",
+    "RandomWalkSampler",
+    "MetropolisHastingsSampler",
+    "WeightedRandomWalkSampler",
+    "RandomWalkWithJumpsSampler",
+    "StratifiedWeightedWalkSampler",
+    "MultigraphRandomWalkSampler",
+    "BreadthFirstSampler",
+    "ForestFireSampler",
+    "InducedObservation",
+    "StarObservation",
+    "observe_induced",
+    "observe_star",
+    "merge_star_observations",
+    "geweke_z",
+    "autocorrelation",
+    "effective_sample_size",
+    "recommend_thinning",
+]

@@ -1,0 +1,153 @@
+"""Node samples and the sampler interface (Section 3 of the paper).
+
+A :class:`NodeSample` is an ordered multiset of node draws (sampling is
+*with replacement*; crawls revisit nodes) together with the per-draw
+sampling weights ``w(v)``. The weights are known only up to a constant —
+exactly the situation of Section 5.1 — and equal 1 for uniform designs.
+
+Samplers produce samples; the estimators in :mod:`repro.core` consume
+*observations* built from samples (:mod:`repro.sampling.observation`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.adjacency import Graph
+
+__all__ = ["NodeSample", "Sampler"]
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """An ordered with-replacement sample of nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids in draw order, shape ``(n,)``.
+    weights:
+        Per-draw sampling weights ``w(v)`` (proportional to the inclusion
+        probability ``pi(v)``; see Eq. 10-11 of the paper). All ones for
+        uniform designs.
+    design:
+        Short name of the producing design (``"uis"``, ``"rw"``, ...);
+        informational.
+    uniform:
+        True when the design is (asymptotically) uniform, enabling the
+        Section 4 estimators without reweighting.
+    """
+
+    nodes: np.ndarray
+    weights: np.ndarray
+    design: str = "unknown"
+    uniform: bool = False
+
+    def __post_init__(self) -> None:
+        nodes = np.asarray(self.nodes, dtype=np.int64)
+        weights = np.asarray(self.weights, dtype=float)
+        if nodes.ndim != 1 or weights.ndim != 1:
+            raise SamplingError("nodes and weights must be one-dimensional")
+        if len(nodes) != len(weights):
+            raise SamplingError(
+                f"{len(nodes)} nodes but {len(weights)} weights"
+            )
+        if len(weights) and weights.min() <= 0:
+            raise SamplingError("sampling weights must be strictly positive")
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def size(self) -> int:
+        """Number of draws ``|S|`` (with multiplicity)."""
+        return len(self.nodes)
+
+    def num_distinct(self) -> int:
+        """Number of distinct nodes in the sample."""
+        return len(np.unique(self.nodes))
+
+    def thin(self, period: int) -> "NodeSample":
+        """Keep every ``period``-th draw (Section 5.4's thinning).
+
+        Reduces autocorrelation of crawl samples at the cost of
+        discarding information.
+        """
+        if period < 1:
+            raise SamplingError(f"thinning period must be >= 1, got {period}")
+        return NodeSample(
+            self.nodes[::period],
+            self.weights[::period],
+            design=f"{self.design}/thin{period}" if period > 1 else self.design,
+            uniform=self.uniform,
+        )
+
+    def truncate(self, n: int) -> "NodeSample":
+        """First ``n`` draws — used for NRMSE-vs-sample-size sweeps."""
+        if n < 0:
+            raise SamplingError(f"n must be non-negative, got {n}")
+        return NodeSample(
+            self.nodes[:n], self.weights[:n], design=self.design, uniform=self.uniform
+        )
+
+    def concat(self, other: "NodeSample") -> "NodeSample":
+        """Concatenate two samples from the *same* design."""
+        if self.uniform != other.uniform:
+            raise SamplingError("cannot concatenate uniform and non-uniform samples")
+        return NodeSample(
+            np.concatenate((self.nodes, other.nodes)),
+            np.concatenate((self.weights, other.weights)),
+            design=self.design,
+            uniform=self.uniform,
+        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeSample(size={self.size}, design={self.design!r}, "
+            f"uniform={self.uniform})"
+        )
+
+
+class Sampler(abc.ABC):
+    """Interface for node-sampling designs.
+
+    A sampler is bound to a graph at construction (and, for stratified
+    designs, to a partition) and emits :class:`NodeSample` objects of any
+    requested size.
+    """
+
+    def __init__(self, graph: Graph):
+        if graph.num_nodes == 0:
+            raise SamplingError("cannot sample from an empty graph")
+        self._graph = graph
+
+    @property
+    def graph(self) -> Graph:
+        """The graph being sampled."""
+        return self._graph
+
+    @property
+    @abc.abstractmethod
+    def design(self) -> str:
+        """Short design name (``"uis"``, ``"rw"``, ...)."""
+
+    @property
+    @abc.abstractmethod
+    def uniform(self) -> bool:
+        """Whether the (asymptotic) sampling distribution is uniform."""
+
+    @abc.abstractmethod
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        """Draw a sample of ``n`` nodes (with replacement)."""
+
+    def _check_size(self, n: int) -> None:
+        if n <= 0:
+            raise SamplingError(f"sample size must be positive, got {n}")

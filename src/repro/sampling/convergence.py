@@ -1,0 +1,102 @@
+"""Walk-convergence diagnostics.
+
+The paper relies on crawls having "adequately converged" (Section 5) —
+these diagnostics let users check that, mirroring standard MCMC
+practice: Geweke's z-score between early and late walk segments,
+autocorrelation of a node statistic along the walk, and the implied
+effective sample size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+__all__ = ["geweke_z", "autocorrelation", "effective_sample_size", "recommend_thinning"]
+
+
+def geweke_z(
+    values: np.ndarray, first: float = 0.1, last: float = 0.5
+) -> float:
+    """Geweke diagnostic comparing the walk's head and tail means.
+
+    Parameters
+    ----------
+    values:
+        A scalar statistic per walk step (e.g. the degree of the visited
+        node, or an indicator of a category).
+    first, last:
+        Fractions of the walk used as the early and late segments.
+
+    Returns
+    -------
+    A z-score; |z| below ~2 is consistent with convergence.
+    """
+    values = np.asarray(values, dtype=float)
+    if len(values) < 10:
+        raise SamplingError("geweke_z needs at least 10 steps")
+    if not 0 < first < 1 or not 0 < last < 1 or first + last > 1:
+        raise SamplingError("need 0 < first, last and first + last <= 1")
+    head = values[: int(first * len(values))]
+    tail = values[len(values) - int(last * len(values)) :]
+    var_head = _spectral_variance(head)
+    var_tail = _spectral_variance(tail)
+    denom = np.sqrt(var_head / len(head) + var_tail / len(tail))
+    if denom == 0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / denom)
+
+
+def autocorrelation(values: np.ndarray, max_lag: int = 50) -> np.ndarray:
+    """Normalised autocorrelation function up to ``max_lag``.
+
+    ``result[k]`` is the lag-k autocorrelation; ``result[0] == 1``.
+    """
+    values = np.asarray(values, dtype=float)
+    if len(values) < 2:
+        raise SamplingError("autocorrelation needs at least 2 steps")
+    max_lag = min(max_lag, len(values) - 1)
+    centered = values - values.mean()
+    variance = float(np.dot(centered, centered))
+    if variance == 0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        out[lag] = np.dot(centered[: len(values) - lag], centered[lag:]) / variance
+    return out
+
+
+def effective_sample_size(values: np.ndarray, max_lag: int = 200) -> float:
+    """ESS via the initial-positive-sequence truncation of the ACF."""
+    values = np.asarray(values, dtype=float)
+    acf = autocorrelation(values, max_lag=max_lag)
+    tail = acf[1:]
+    cutoff = np.argmax(tail <= 0) if np.any(tail <= 0) else len(tail)
+    rho_sum = float(tail[:cutoff].sum())
+    return len(values) / (1.0 + 2.0 * max(rho_sum, 0.0))
+
+
+def recommend_thinning(values: np.ndarray, target_acf: float = 0.1) -> int:
+    """Smallest thinning period driving the ACF below ``target_acf``.
+
+    The Section 5.4 discussion: thinning reduces correlation at the cost
+    of discarding draws. Returns 1 when the walk is already well mixed.
+    """
+    acf = autocorrelation(values, max_lag=min(500, len(values) - 1))
+    below = np.flatnonzero(np.abs(acf[1:]) < target_acf)
+    if len(below) == 0:
+        return len(acf)
+    return int(below[0]) + 1
+
+
+def _spectral_variance(segment: np.ndarray) -> float:
+    """Crude spectral density estimate at frequency zero (batch means)."""
+    if len(segment) < 4:
+        return float(segment.var())
+    batches = max(4, int(np.sqrt(len(segment))))
+    size = len(segment) // batches
+    means = segment[: batches * size].reshape(batches, size).mean(axis=1)
+    return float(means.var(ddof=1) * size)

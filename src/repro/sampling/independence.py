@@ -1,0 +1,98 @@
+"""Independence sampling designs (Section 3.1.1): UIS and WIS.
+
+Rarely feasible on real online networks (no sampling frame) but the
+conceptual baseline for every crawl, and directly usable in simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.adjacency import Graph
+from repro.rng import ensure_rng
+from repro.sampling.base import NodeSample, Sampler
+
+__all__ = ["UniformIndependenceSampler", "WeightedIndependenceSampler"]
+
+
+class UniformIndependenceSampler(Sampler):
+    """UIS: i.i.d. uniform draws from the node set, with replacement."""
+
+    @property
+    def design(self) -> str:
+        return "uis"
+
+    @property
+    def uniform(self) -> bool:
+        return True
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        nodes = gen.integers(0, self._graph.num_nodes, size=n, dtype=np.int64)
+        return NodeSample(nodes, np.ones(n), design=self.design, uniform=True)
+
+
+class WeightedIndependenceSampler(Sampler):
+    """WIS: i.i.d. draws with probability proportional to a node weight.
+
+    Parameters
+    ----------
+    graph:
+        The graph (used for its node count and, with
+        ``weights="degree"``, its degree sequence).
+    weights:
+        Either the string ``"degree"`` (the asymptotic RW design) or an
+        explicit positive array of per-node weights.
+    """
+
+    def __init__(self, graph: Graph, weights: "np.ndarray | str" = "degree"):
+        super().__init__(graph)
+        if isinstance(weights, str):
+            if weights != "degree":
+                raise SamplingError(
+                    f"unknown weight spec {weights!r}; use 'degree' or an array"
+                )
+            w = graph.degrees().astype(float)
+            if w.min() <= 0:
+                raise SamplingError(
+                    "degree-weighted WIS requires minimum degree >= 1 "
+                    "(isolated nodes have zero sampling probability)"
+                )
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (graph.num_nodes,):
+                raise SamplingError(
+                    f"weights must have shape ({graph.num_nodes},), got {w.shape}"
+                )
+            if w.min() <= 0:
+                raise SamplingError("WIS weights must be strictly positive")
+        self._weights = w
+        self._probs = w / w.sum()
+
+    @property
+    def design(self) -> str:
+        return "wis"
+
+    @property
+    def uniform(self) -> bool:
+        return False
+
+    @property
+    def node_weights(self) -> np.ndarray:
+        """The per-node weight array the design draws from."""
+        return self._weights
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        nodes = gen.choice(self._graph.num_nodes, size=n, replace=True, p=self._probs)
+        nodes = nodes.astype(np.int64)
+        return NodeSample(
+            nodes, self._weights[nodes], design=self.design, uniform=False
+        )

@@ -1,0 +1,126 @@
+"""Merging observations collected separately.
+
+Section 7.3 of the paper combines "several outcomes of different,
+independent sampling techniques" into final estimates. When the raw
+samples are still around, concatenate them (``NodeSample.concat``) and
+re-observe; but observations are also the natural *archival* format of
+a crawl (they contain everything the estimators may use and nothing
+more), so this module merges already-built observations directly —
+without access to the graph.
+
+Only observations from the same design (same weight scale!) may be
+merged: Hansen-Hurwitz ratios assume one weight function. Merging, say,
+an RW and a UIS observation would silently mix incomparable weights, so
+it is rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.sampling.observation import InducedObservation, StarObservation
+
+__all__ = ["merge_star_observations"]
+
+
+def merge_star_observations(
+    observations: "list[StarObservation]",
+) -> StarObservation:
+    """Merge star observations of the same design into one.
+
+    Draws are concatenated in the given order; distinct-node tables are
+    unioned with multiplicities added. Per-node data (category, weight,
+    degree, neighbor histogram) must agree across observations — they
+    describe the same static graph — and the first occurrence wins.
+    """
+    if not observations:
+        raise SamplingError("nothing to merge")
+    first = observations[0]
+    if any(not isinstance(o, StarObservation) for o in observations):
+        raise SamplingError("merge_star_observations takes StarObservations")
+    if any(o.names != first.names for o in observations):
+        raise SamplingError("observations disagree on the category set")
+    if any(o.design != first.design or o.uniform != first.uniform for o in observations):
+        raise SamplingError(
+            "observations come from different designs; their sampling "
+            "weights are not on a common scale and cannot be merged"
+        )
+    if len(observations) == 1:
+        return first
+
+    # Union the distinct-node tables.
+    all_nodes = np.concatenate([o.distinct_nodes for o in observations])
+    union_nodes = np.unique(all_nodes)
+    position = {int(v): i for i, v in enumerate(union_nodes)}
+    d = len(union_nodes)
+
+    categories = np.zeros(d, dtype=np.int64)
+    weights = np.zeros(d)
+    degrees = np.zeros(d, dtype=np.int64)
+    multiplicities = np.zeros(d, dtype=np.int64)
+    filled = np.zeros(d, dtype=bool)
+    neighbor_rows: list[tuple[np.ndarray, np.ndarray]] = [None] * d
+
+    draw_chunks: list[np.ndarray] = []
+    for obs in observations:
+        local_to_union = np.fromiter(
+            (position[int(v)] for v in obs.distinct_nodes),
+            dtype=np.int64,
+            count=obs.num_distinct,
+        )
+        draw_chunks.append(local_to_union[obs.draw_to_distinct])
+        multiplicities_local = obs.distinct_multiplicities
+        np.add.at(multiplicities, local_to_union, multiplicities_local)
+        fresh = ~filled[local_to_union]
+        idx = local_to_union[fresh]
+        categories[idx] = obs.distinct_categories[fresh]
+        weights[idx] = obs.distinct_weights[fresh]
+        degrees[idx] = obs.distinct_degrees[fresh]
+        for local_i in np.flatnonzero(fresh):
+            union_i = local_to_union[local_i]
+            lo = obs.neighbor_indptr[local_i]
+            hi = obs.neighbor_indptr[local_i + 1]
+            neighbor_rows[union_i] = (
+                obs.neighbor_categories[lo:hi].copy(),
+                obs.neighbor_counts[lo:hi].copy(),
+            )
+        filled[local_to_union] = True
+        # Consistency check on overlapping nodes.
+        overlap = ~fresh
+        if np.any(overlap):
+            idx = local_to_union[overlap]
+            if not (
+                np.array_equal(categories[idx], obs.distinct_categories[overlap])
+                and np.allclose(weights[idx], obs.distinct_weights[overlap])
+                and np.array_equal(degrees[idx], obs.distinct_degrees[overlap])
+            ):
+                raise SamplingError(
+                    "observations disagree about a shared node; they cannot "
+                    "describe the same static graph"
+                )
+
+    lengths = np.asarray([len(row[0]) for row in neighbor_rows], dtype=np.int64)
+    indptr = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
+    if indptr[-1]:
+        cats = np.concatenate([row[0] for row in neighbor_rows])
+        counts = np.concatenate([row[1] for row in neighbor_rows])
+    else:
+        cats = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+
+    return StarObservation(
+        names=first.names,
+        num_draws=sum(o.num_draws for o in observations),
+        draw_to_distinct=np.concatenate(draw_chunks),
+        distinct_nodes=union_nodes,
+        distinct_categories=categories,
+        distinct_multiplicities=multiplicities,
+        distinct_weights=weights,
+        uniform=first.uniform,
+        design=first.design,
+        distinct_degrees=degrees,
+        neighbor_indptr=indptr,
+        neighbor_categories=cats,
+        neighbor_counts=counts,
+    )

@@ -1,0 +1,341 @@
+"""The two measurement scenarios of Section 3.2 (Fig. 2).
+
+Sampling tells us *which* nodes we drew; measurement tells us *what we
+learn* about each draw:
+
+* **Induced subgraph sampling** — the categories of the sampled nodes,
+  and the edges among sampled nodes, only.
+* **Star sampling** — additionally, the categories of *all* neighbors
+  of each sampled node (and hence its degree). Neighbor identities
+  beyond their categories are not needed (labeled star sampling).
+
+Estimators in :mod:`repro.core` consume these observation objects and
+nothing else, so the information model of the paper is enforced by
+construction: an induced observation physically lacks the data a star
+estimator would need.
+
+Both observations store the sample in *distinct-node compressed* form:
+the draw list (with replacement, order preserved via
+``draw_to_distinct``) references a table of distinct nodes with their
+categories, sampling weights, and multiplicities. Estimator algebra over
+the multiset reduces to multiplicity-weighted sums over the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.adjacency import Graph
+from repro.graph.partition import CategoryPartition
+from repro.sampling.base import NodeSample
+
+__all__ = [
+    "InducedObservation",
+    "StarObservation",
+    "observe_induced",
+    "observe_star",
+]
+
+
+@dataclass(frozen=True)
+class _ObservationBase:
+    """Data shared by both measurement scenarios."""
+
+    #: Category names (defines the category indexing of the estimate).
+    names: tuple[str, ...]
+    #: Draw count ``|S|`` (with multiplicity).
+    num_draws: int
+    #: For each draw, the row in the distinct-node table.
+    draw_to_distinct: np.ndarray
+    #: Distinct node ids (for debugging/bootstrap only; estimators never
+    #: dereference them into a graph).
+    distinct_nodes: np.ndarray
+    #: Category index of each distinct node.
+    distinct_categories: np.ndarray
+    #: Draw multiplicity of each distinct node.
+    distinct_multiplicities: np.ndarray
+    #: Sampling weight ``w(v)`` of each distinct node.
+    distinct_weights: np.ndarray
+    #: Whether the design was uniform (Section 4 vs Section 5 estimators).
+    uniform: bool
+    #: Producing design name.
+    design: str
+
+    @property
+    def num_categories(self) -> int:
+        """Number of categories ``|C|``."""
+        return len(self.names)
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct sampled nodes."""
+        return len(self.distinct_nodes)
+
+    def category_draw_counts(self) -> np.ndarray:
+        """``|S_A|`` for every category (with multiplicity), shape (C,)."""
+        counts = np.zeros(self.num_categories, dtype=np.int64)
+        np.add.at(counts, self.distinct_categories, self.distinct_multiplicities)
+        return counts
+
+    def reweighted_sizes(self) -> np.ndarray:
+        """``w^{-1}(S_A) = sum_{v in S_A} 1 / w(v)`` per category (Sec. 5.1).
+
+        Under a uniform design this equals ``|S_A|``.
+        """
+        out = np.zeros(self.num_categories)
+        np.add.at(
+            out,
+            self.distinct_categories,
+            self.distinct_multiplicities / self.distinct_weights,
+        )
+        return out
+
+
+@dataclass(frozen=True)
+class InducedObservation(_ObservationBase):
+    """Induced-subgraph measurement (Section 3.2.1).
+
+    ``induced_edges`` lists the edges among *distinct* sampled nodes as
+    pairs of rows into the distinct table; the multiset pair counts of
+    Eq. (8)/(15) are recovered with multiplicity products.
+    """
+
+    induced_edges: np.ndarray = None  # (m, 2) distinct-row pairs
+
+    def __post_init__(self) -> None:
+        if self.induced_edges is None:
+            object.__setattr__(
+                self, "induced_edges", np.empty((0, 2), dtype=np.int64)
+            )
+
+    def subset_draws(self, draw_indices: np.ndarray) -> "InducedObservation":
+        """Observation restricted to a subset/resample of draws.
+
+        Used by bootstrap variance estimation and sample-size sweeps.
+        ``draw_indices`` indexes the original draw list (repeats allowed).
+        """
+        return _subset(self, draw_indices, induced=True)
+
+
+@dataclass(frozen=True)
+class StarObservation(_ObservationBase):
+    """Star measurement (Section 3.2.2).
+
+    Per distinct node we store its degree and the category histogram of
+    its neighborhood in CSR form: the neighbor categories of distinct
+    node ``i`` are ``neighbor_categories[neighbor_indptr[i]:neighbor_indptr[i+1]]``
+    with multiplicities ``neighbor_counts[...]``. ``|E_{a,B}|`` of
+    Eq. (9)/(16) is a direct lookup.
+    """
+
+    distinct_degrees: np.ndarray = None
+    neighbor_indptr: np.ndarray = None
+    neighbor_categories: np.ndarray = None
+    neighbor_counts: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "distinct_degrees",
+            "neighbor_indptr",
+            "neighbor_categories",
+            "neighbor_counts",
+        ):
+            if getattr(self, name) is None:
+                raise SamplingError(f"StarObservation requires {name}")
+
+    def neighbor_category_matrix(self, weighted: bool) -> np.ndarray:
+        """Aggregate ``M[A, B] = sum_{draws a in S_A} |E_{a,B}| (/w(a))``.
+
+        The multiset sum over draws of the per-node neighbor histograms,
+        optionally divided by the draw weight — the numerator machinery
+        of Eqs. (7), (9), (13), (16).
+        """
+        c = self.num_categories
+        matrix = np.zeros((c, c))
+        rows = np.repeat(
+            self.distinct_categories, np.diff(self.neighbor_indptr)
+        )
+        scale = self.distinct_multiplicities.astype(float)
+        if weighted:
+            scale = scale / self.distinct_weights
+        per_entry = np.repeat(scale, np.diff(self.neighbor_indptr))
+        np.add.at(
+            matrix,
+            (rows, self.neighbor_categories),
+            per_entry * self.neighbor_counts,
+        )
+        return matrix
+
+    def degree_totals(self, weighted: bool) -> np.ndarray:
+        """``sum_{v in S_A} deg(v) (/w(v))`` per category, shape (C,)."""
+        out = np.zeros(self.num_categories)
+        scale = self.distinct_multiplicities.astype(float)
+        if weighted:
+            scale = scale / self.distinct_weights
+        np.add.at(
+            out, self.distinct_categories, scale * self.distinct_degrees
+        )
+        return out
+
+    def subset_draws(self, draw_indices: np.ndarray) -> "StarObservation":
+        """Observation restricted to a subset/resample of draws."""
+        return _subset(self, draw_indices, induced=False)
+
+
+def observe_induced(
+    graph: Graph, partition: CategoryPartition, sample: NodeSample
+) -> InducedObservation:
+    """Measure a sample under induced subgraph sampling."""
+    base = _compress(graph, partition, sample)
+    distinct = base["distinct_nodes"]
+    position = np.full(graph.num_nodes, -1, dtype=np.int64)
+    position[distinct] = np.arange(len(distinct))
+    indptr, indices = graph.indptr, graph.indices
+    in_sample = np.zeros(graph.num_nodes, dtype=bool)
+    in_sample[distinct] = True
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for i, v in enumerate(distinct):
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        hits = nbrs[in_sample[nbrs]]
+        js = position[hits]
+        keep = js > i  # each undirected edge once
+        if np.any(keep):
+            js = js[keep]
+            rows.append(np.full(len(js), i, dtype=np.int64))
+            cols.append(js)
+    if rows:
+        edges = np.column_stack((np.concatenate(rows), np.concatenate(cols)))
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return InducedObservation(induced_edges=edges, **base)
+
+
+def observe_star(
+    graph: Graph, partition: CategoryPartition, sample: NodeSample
+) -> StarObservation:
+    """Measure a sample under (labeled) star sampling."""
+    base = _compress(graph, partition, sample)
+    distinct = base["distinct_nodes"]
+    indptr, indices = graph.indptr, graph.indices
+    degrees = (indptr[distinct + 1] - indptr[distinct]).astype(np.int64)
+    c = partition.num_categories
+    # Gather all neighbor labels of all distinct nodes, vectorised.
+    total = int(degrees.sum())
+    if total:
+        starts = indptr[distinct]
+        run_offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+        gather = np.repeat(starts - run_offsets, degrees) + np.arange(total)
+        neighbor_labels = partition.labels[indices[gather]]
+        owner_rows = np.repeat(np.arange(len(distinct), dtype=np.int64), degrees)
+        keys = owner_rows * np.int64(c) + neighbor_labels
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        nbr_rows = unique_keys // c
+        nbr_cats = (unique_keys % c).astype(np.int64)
+        nbr_indptr = np.zeros(len(distinct) + 1, dtype=np.int64)
+        np.add.at(nbr_indptr, nbr_rows + 1, 1)
+        np.cumsum(nbr_indptr, out=nbr_indptr)
+    else:
+        nbr_cats = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+        nbr_indptr = np.zeros(len(distinct) + 1, dtype=np.int64)
+    return StarObservation(
+        distinct_degrees=degrees,
+        neighbor_indptr=nbr_indptr,
+        neighbor_categories=nbr_cats,
+        neighbor_counts=counts.astype(np.int64),
+        **base,
+    )
+
+
+def _compress(
+    graph: Graph, partition: CategoryPartition, sample: NodeSample
+) -> dict:
+    """Shared draw-list → distinct-table compression."""
+    if partition.num_nodes != graph.num_nodes:
+        raise SamplingError("partition node count does not match the graph")
+    if sample.size == 0:
+        raise SamplingError("cannot observe an empty sample")
+    if sample.nodes.max() >= graph.num_nodes or sample.nodes.min() < 0:
+        raise SamplingError("sample references nodes outside the graph")
+    distinct, draw_to_distinct, multiplicities = np.unique(
+        sample.nodes, return_inverse=True, return_counts=True
+    )
+    # Weights are per-node for every design in this library; verify that
+    # repeated draws of a node agree, then keep one weight per distinct.
+    weights = np.zeros(len(distinct))
+    weights[draw_to_distinct] = sample.weights
+    if not np.allclose(weights[draw_to_distinct], sample.weights):
+        raise SamplingError(
+            "sample weights differ across draws of the same node"
+        )
+    return {
+        "names": partition.names,
+        "num_draws": sample.size,
+        "draw_to_distinct": draw_to_distinct.astype(np.int64),
+        "distinct_nodes": distinct.astype(np.int64),
+        "distinct_categories": partition.labels[distinct],
+        "distinct_multiplicities": multiplicities.astype(np.int64),
+        "distinct_weights": weights,
+        "uniform": sample.uniform,
+        "design": sample.design,
+    }
+
+
+def _subset(observation, draw_indices: np.ndarray, induced: bool):
+    """Restrict an observation to a resampled/truncated draw list."""
+    draw_indices = np.asarray(draw_indices, dtype=np.int64)
+    if len(draw_indices) == 0:
+        raise SamplingError("subset must keep at least one draw")
+    if draw_indices.min() < 0 or draw_indices.max() >= observation.num_draws:
+        raise SamplingError("draw indices outside the original sample")
+    old_rows = observation.draw_to_distinct[draw_indices]
+    kept_rows, new_draw_to_distinct, multiplicities = np.unique(
+        old_rows, return_inverse=True, return_counts=True
+    )
+    base = {
+        "names": observation.names,
+        "num_draws": len(draw_indices),
+        "draw_to_distinct": new_draw_to_distinct.astype(np.int64),
+        "distinct_nodes": observation.distinct_nodes[kept_rows],
+        "distinct_categories": observation.distinct_categories[kept_rows],
+        "distinct_multiplicities": multiplicities.astype(np.int64),
+        "distinct_weights": observation.distinct_weights[kept_rows],
+        "uniform": observation.uniform,
+        "design": observation.design,
+    }
+    remap = np.full(observation.num_distinct, -1, dtype=np.int64)
+    remap[kept_rows] = np.arange(len(kept_rows))
+    if induced:
+        edges = observation.induced_edges
+        if len(edges):
+            mask = (remap[edges[:, 0]] >= 0) & (remap[edges[:, 1]] >= 0)
+            new_edges = np.column_stack(
+                (remap[edges[mask, 0]], remap[edges[mask, 1]])
+            )
+        else:
+            new_edges = np.empty((0, 2), dtype=np.int64)
+        return InducedObservation(induced_edges=new_edges, **base)
+    # Star: slice the neighbor CSR down to the kept rows.
+    lengths = np.diff(observation.neighbor_indptr)[kept_rows]
+    new_indptr = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
+    total = int(lengths.sum())
+    if total:
+        starts = observation.neighbor_indptr[kept_rows]
+        run_offsets = new_indptr[:-1]
+        gather = np.repeat(starts - run_offsets, lengths) + np.arange(total)
+        new_cats = observation.neighbor_categories[gather]
+        new_counts = observation.neighbor_counts[gather]
+    else:
+        new_cats = np.empty(0, dtype=np.int64)
+        new_counts = np.empty(0, dtype=np.int64)
+    return StarObservation(
+        distinct_degrees=observation.distinct_degrees[kept_rows],
+        neighbor_indptr=new_indptr,
+        neighbor_categories=new_cats,
+        neighbor_counts=new_counts,
+        **base,
+    )

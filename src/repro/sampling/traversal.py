@@ -1,0 +1,153 @@
+"""Traversal-based baselines: BFS (snowball) and Forest Fire.
+
+Both are *biased* designs without tractable inclusion probabilities (see
+the paper's Section 8 discussion of [4, 38, 43, 44]); they are included
+as baselines to demonstrate why principled probability samples matter.
+Their ``NodeSample.weights`` are all ones and ``uniform`` is **False**
+with ``design`` flagging the bias — the estimators will happily run and
+visibly mis-estimate, which is exactly the point of the ablation bench.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.adjacency import Graph
+from repro.rng import ensure_rng
+from repro.sampling.base import NodeSample, Sampler
+
+__all__ = ["BreadthFirstSampler", "ForestFireSampler"]
+
+
+class BreadthFirstSampler(Sampler):
+    """BFS / snowball sampling from a (random) seed.
+
+    Visits nodes in breadth-first order until ``n`` nodes are collected;
+    if the seed's component is exhausted first, a fresh random unvisited
+    seed is picked (multi-seed snowball). Each node appears at most once
+    — BFS is without replacement, unlike the probability designs.
+    """
+
+    def __init__(self, graph: Graph, seed_node: int | None = None):
+        super().__init__(graph)
+        if seed_node is not None and not 0 <= seed_node < graph.num_nodes:
+            raise SamplingError(
+                f"seed node {seed_node} outside [0, {graph.num_nodes})"
+            )
+        self._seed_node = seed_node
+
+    @property
+    def design(self) -> str:
+        return "bfs"
+
+    @property
+    def uniform(self) -> bool:
+        return False
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        if n > self._graph.num_nodes:
+            raise SamplingError(
+                f"BFS cannot collect {n} distinct nodes from a graph of "
+                f"{self._graph.num_nodes}"
+            )
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        visited = np.zeros(self._graph.num_nodes, dtype=bool)
+        order: list[int] = []
+        queue: collections.deque[int] = collections.deque()
+        seed = (
+            self._seed_node
+            if self._seed_node is not None
+            else int(gen.integers(0, self._graph.num_nodes))
+        )
+        queue.append(seed)
+        visited[seed] = True
+        while len(order) < n:
+            if not queue:
+                remaining = np.flatnonzero(~visited)
+                fresh = int(remaining[gen.integers(0, len(remaining))])
+                visited[fresh] = True
+                queue.append(fresh)
+            v = queue.popleft()
+            order.append(v)
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+        nodes = np.asarray(order[:n], dtype=np.int64)
+        return NodeSample(nodes, np.ones(n), design=self.design, uniform=False)
+
+
+class ForestFireSampler(Sampler):
+    """Forest Fire sampling [Leskovec & Faloutsos 2006].
+
+    A hybrid of BFS and RW: from each burning node, a geometrically
+    distributed number of unvisited neighbors (mean ``p / (1 - p)``)
+    catches fire. When the fire dies out, it restarts from a fresh
+    random node. Biased like BFS; included as a related-work baseline.
+    """
+
+    def __init__(self, graph: Graph, forward_prob: float = 0.7):
+        super().__init__(graph)
+        if not 0.0 < forward_prob < 1.0:
+            raise SamplingError(
+                f"forward_prob must be in (0, 1), got {forward_prob}"
+            )
+        self._forward_prob = forward_prob
+
+    @property
+    def design(self) -> str:
+        return "forest_fire"
+
+    @property
+    def uniform(self) -> bool:
+        return False
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        if n > self._graph.num_nodes:
+            raise SamplingError(
+                f"Forest Fire cannot collect {n} distinct nodes from a graph "
+                f"of {self._graph.num_nodes}"
+            )
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        visited = np.zeros(self._graph.num_nodes, dtype=bool)
+        order: list[int] = []
+        frontier: collections.deque[int] = collections.deque()
+        p = self._forward_prob
+        while len(order) < n:
+            if not frontier:
+                remaining = np.flatnonzero(~visited)
+                seed = int(remaining[gen.integers(0, len(remaining))])
+                visited[seed] = True
+                order.append(seed)
+                frontier.append(seed)
+                continue
+            v = frontier.popleft()
+            unvisited = [
+                int(u)
+                for u in indices[indptr[v] : indptr[v + 1]]
+                if not visited[u]
+            ]
+            if not unvisited:
+                continue
+            burn_count = min(int(gen.geometric(1.0 - p)), len(unvisited))
+            chosen = gen.choice(len(unvisited), size=burn_count, replace=False)
+            for idx in chosen:
+                u = unvisited[idx]
+                visited[u] = True
+                order.append(u)
+                frontier.append(u)
+                if len(order) == n:
+                    break
+        nodes = np.asarray(order[:n], dtype=np.int64)
+        return NodeSample(nodes, np.ones(n), design=self.design, uniform=False)

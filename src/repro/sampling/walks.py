@@ -1,0 +1,263 @@
+"""Crawling designs (Section 3.1.2): RW, MHRW, WRW, RW-with-jumps.
+
+All walk samplers share the conventions:
+
+* the walk starts at ``start`` (or a uniform random node);
+* ``burn_in`` initial steps are discarded (0 by default — the paper's
+  experiments use full walks and rely on the asymptotics of Section 5.4);
+* every visited node after burn-in is a draw (thin afterwards with
+  :meth:`NodeSample.thin` if desired);
+* per-draw weights are the design's stationary weights, enabling the
+  Hansen-Hurwitz corrected estimators of Section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.adjacency import Graph
+from repro.rng import ensure_rng
+from repro.sampling.base import NodeSample, Sampler
+
+__all__ = [
+    "RandomWalkSampler",
+    "MetropolisHastingsSampler",
+    "WeightedRandomWalkSampler",
+    "RandomWalkWithJumpsSampler",
+]
+
+
+class _WalkSampler(Sampler):
+    """Shared start/burn-in plumbing for walk designs."""
+
+    def __init__(self, graph: Graph, start: int | None = None, burn_in: int = 0):
+        super().__init__(graph)
+        if burn_in < 0:
+            raise SamplingError(f"burn_in must be non-negative, got {burn_in}")
+        if start is not None and not 0 <= start < graph.num_nodes:
+            raise SamplingError(
+                f"start node {start} outside [0, {graph.num_nodes})"
+            )
+        if graph.num_edges == 0:
+            raise SamplingError("walk samplers require at least one edge")
+        self._start = start
+        self._burn_in = burn_in
+
+    def _initial_node(self, gen: np.random.Generator) -> int:
+        if self._start is not None:
+            return self._start
+        # Start from a random non-isolated node so the walk can move.
+        degrees = self._graph.degrees()
+        candidates = np.flatnonzero(degrees > 0)
+        return int(candidates[gen.integers(0, len(candidates))])
+
+    @property
+    def uniform(self) -> bool:
+        return False
+
+
+class RandomWalkSampler(_WalkSampler):
+    """Simple random walk: next hop uniform among the current neighbors.
+
+    On a connected non-bipartite graph the stationary distribution is
+    ``pi(v) ~ deg(v)`` [Lovasz 1993], so draws carry weight ``deg(v)``.
+    """
+
+    @property
+    def design(self) -> str:
+        return "rw"
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        total = n + self._burn_in
+        out = np.empty(total, dtype=np.int64)
+        current = self._initial_node(gen)
+        # Pre-draw uniform variates in blocks for speed.
+        randoms = gen.random(total)
+        for i in range(total):
+            lo, hi = indptr[current], indptr[current + 1]
+            if hi == lo:
+                raise SamplingError(
+                    f"random walk reached isolated node {current}"
+                )
+            current = int(indices[lo + int(randoms[i] * (hi - lo))])
+            out[i] = current
+        nodes = out[self._burn_in :]
+        weights = self._graph.degrees()[nodes].astype(float)
+        return NodeSample(nodes, weights, design=self.design, uniform=False)
+
+
+class MetropolisHastingsSampler(_WalkSampler):
+    """MHRW targeting the uniform distribution.
+
+    Proposes a uniform neighbor ``v`` of the current node ``u`` and
+    accepts with probability ``min(1, deg(u) / deg(v))``; on rejection
+    the walk stays (and ``u`` is drawn again). Asymptotically uniform, so
+    weights are 1 — but the rejections make it less sample-efficient
+    than RW + reweighting, which is exactly what the paper (and [20, 51])
+    observe.
+    """
+
+    @property
+    def design(self) -> str:
+        return "mhrw"
+
+    @property
+    def uniform(self) -> bool:
+        return True
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        degrees = self._graph.degrees()
+        total = n + self._burn_in
+        out = np.empty(total, dtype=np.int64)
+        current = self._initial_node(gen)
+        proposal_randoms = gen.random(total)
+        accept_randoms = gen.random(total)
+        for i in range(total):
+            lo, hi = indptr[current], indptr[current + 1]
+            if hi == lo:
+                raise SamplingError(f"MHRW reached isolated node {current}")
+            proposal = int(indices[lo + int(proposal_randoms[i] * (hi - lo))])
+            if accept_randoms[i] * degrees[proposal] <= degrees[current]:
+                current = proposal
+            out[i] = current
+        nodes = out[self._burn_in :]
+        return NodeSample(nodes, np.ones(n), design=self.design, uniform=True)
+
+
+class WeightedRandomWalkSampler(_WalkSampler):
+    """Random walk on a weighted graph [Aldous & Fill].
+
+    Edge weights are supplied as an array aligned with the graph's CSR
+    ``indices`` (one weight per directed arc; the two arcs of an edge
+    must carry equal weight). The stationary probability of node ``v``
+    is proportional to its *strength* (sum of incident edge weights),
+    which becomes the draw weight.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        arc_weights: np.ndarray,
+        start: int | None = None,
+        burn_in: int = 0,
+    ):
+        super().__init__(graph, start=start, burn_in=burn_in)
+        arc_weights = np.asarray(arc_weights, dtype=float)
+        if arc_weights.shape != graph.indices.shape:
+            raise SamplingError(
+                "arc_weights must align with graph.indices "
+                f"(shape {graph.indices.shape}, got {arc_weights.shape})"
+            )
+        if len(arc_weights) and arc_weights.min() <= 0:
+            raise SamplingError("arc weights must be strictly positive")
+        self._arc_weights = arc_weights
+        # Per-node cumulative weights for O(log d) next-hop sampling.
+        self._cumulative = np.cumsum(arc_weights)
+        self._strength = np.zeros(graph.num_nodes)
+        np.add.at(
+            self._strength,
+            np.repeat(np.arange(graph.num_nodes), graph.degrees()),
+            arc_weights,
+        )
+
+    @property
+    def design(self) -> str:
+        return "wrw"
+
+    @property
+    def strengths(self) -> np.ndarray:
+        """Stationary weights (node strengths) of the weighted walk."""
+        return self._strength
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        cumulative = self._cumulative
+        total = n + self._burn_in
+        out = np.empty(total, dtype=np.int64)
+        current = self._initial_node(gen)
+        randoms = gen.random(total)
+        for i in range(total):
+            lo, hi = indptr[current], indptr[current + 1]
+            if hi == lo:
+                raise SamplingError(f"weighted walk reached isolated node {current}")
+            base = cumulative[lo - 1] if lo > 0 else 0.0
+            target = base + randoms[i] * (cumulative[hi - 1] - base)
+            pos = int(np.searchsorted(cumulative[lo:hi], target, side="right"))
+            pos = min(pos, hi - lo - 1)
+            current = int(indices[lo + pos])
+            out[i] = current
+        nodes = out[self._burn_in :]
+        return NodeSample(
+            nodes, self._strength[nodes], design=self.design, uniform=False
+        )
+
+
+class RandomWalkWithJumpsSampler(_WalkSampler):
+    """RW with uniform restarts [Avrachenkov et al. 2010].
+
+    From node ``u``: with probability ``alpha / (deg(u) + alpha)`` jump
+    to a uniform random node, otherwise take a RW step. Stationary
+    distribution ``pi(v) ~ deg(v) + alpha``; requires a sampling frame
+    for the jumps (usable when UIS is available but expensive).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        alpha: float = 10.0,
+        start: int | None = None,
+        burn_in: int = 0,
+    ):
+        super().__init__(graph, start=start, burn_in=burn_in)
+        if alpha <= 0:
+            raise SamplingError(f"alpha must be positive, got {alpha}")
+        self._alpha = float(alpha)
+
+    @property
+    def design(self) -> str:
+        return "rwj"
+
+    @property
+    def alpha(self) -> float:
+        """Jump weight (pseudo-degree added to every node)."""
+        return self._alpha
+
+    def sample(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> NodeSample:
+        self._check_size(n)
+        gen = ensure_rng(rng)
+        indptr, indices = self._graph.indptr, self._graph.indices
+        num_nodes = self._graph.num_nodes
+        alpha = self._alpha
+        total = n + self._burn_in
+        out = np.empty(total, dtype=np.int64)
+        current = self._initial_node(gen)
+        jump_randoms = gen.random(total)
+        step_randoms = gen.random(total)
+        for i in range(total):
+            lo, hi = indptr[current], indptr[current + 1]
+            degree = hi - lo
+            if jump_randoms[i] * (degree + alpha) < alpha:
+                current = int(step_randoms[i] * num_nodes)
+            else:
+                current = int(indices[lo + int(step_randoms[i] * degree)])
+            out[i] = current
+        nodes = out[self._burn_in :]
+        weights = self._graph.degrees()[nodes].astype(float) + alpha
+        return NodeSample(nodes, weights, design=self.design, uniform=False)

@@ -1,0 +1,84 @@
+"""Estimation-error metrics (Section 6.1 of the paper).
+
+The paper scores estimators with the Normalized Root Mean Square Error
+
+    NRMSE(x_hat) = sqrt(E[(x_hat - x)^2]) / x          (Eq. 17)
+
+where the expectation runs over independent replications (walks). We
+compute it element-wise over stacked replicate estimates, ignoring
+``nan`` replicates (estimator undefined on that sample) but reporting
+coverage so silent gaps cannot masquerade as accuracy.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+__all__ = ["nrmse", "nrmse_stack", "relative_error"]
+
+
+def nrmse(estimates: np.ndarray, truth: float) -> float:
+    """Eq. (17) for a scalar quantity over replicate estimates."""
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.size == 0:
+        raise EstimationError("nrmse needs at least one replicate estimate")
+    if truth == 0 or not np.isfinite(truth):
+        raise EstimationError(f"nrmse is undefined for truth={truth}")
+    finite = estimates[np.isfinite(estimates)]
+    if finite.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.mean((finite - truth) ** 2)) / abs(truth))
+
+
+def nrmse_stack(
+    estimate_stack: np.ndarray, truth: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element-wise Eq. (17) over a stack of replicate estimate arrays.
+
+    Parameters
+    ----------
+    estimate_stack:
+        Shape ``(R, ...)`` — R replications of an estimate array.
+    truth:
+        Shape ``(...)`` — the true values.
+
+    Returns
+    -------
+    ``(nrmse_values, coverage)`` of shape ``(...)``; ``coverage`` is the
+    fraction of replicates with a finite estimate for each element.
+    Elements whose truth is zero or non-finite get ``nan`` (the metric
+    normalises by the true value).
+    """
+    estimate_stack = np.asarray(estimate_stack, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if estimate_stack.ndim != truth.ndim + 1 or estimate_stack.shape[1:] != truth.shape:
+        raise EstimationError(
+            f"estimate stack {estimate_stack.shape} does not stack over "
+            f"truth {truth.shape}"
+        )
+    finite = np.isfinite(estimate_stack)
+    coverage = finite.mean(axis=0)
+    with warnings.catch_warnings():
+        warnings.filterwarnings("ignore", message="Mean of empty slice")
+        mse = np.nanmean((estimate_stack - truth) ** 2, axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        values = np.where(
+            np.isfinite(truth) & (truth != 0), np.sqrt(mse) / np.abs(truth), np.nan
+        )
+    return values, coverage
+
+
+def relative_error(estimate: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """``|x_hat - x| / x`` element-wise; ``nan`` where undefined."""
+    estimate = np.asarray(estimate, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(
+            np.isfinite(truth) & (truth != 0),
+            np.abs(estimate - truth) / np.abs(truth),
+            np.nan,
+        )

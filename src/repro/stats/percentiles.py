@@ -1,0 +1,47 @@
+"""Percentile edge selection (Fig. 3(g) of the paper).
+
+The paper compares estimation of a *low-weight* edge (the edge at the
+25th percentile of true weights) against a *high-weight* edge (75th
+percentile). These helpers pick those category pairs from a true
+category graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.graph.category_graph import CategoryGraph
+
+__all__ = ["percentile_edge", "positive_weight_pairs"]
+
+
+def positive_weight_pairs(category_graph: CategoryGraph) -> np.ndarray:
+    """All (a, b) index pairs (a < b) with finite positive true weight."""
+    w = category_graph.weights
+    c = category_graph.num_categories
+    pairs = [
+        (a, b)
+        for a in range(c)
+        for b in range(a + 1, c)
+        if np.isfinite(w[a, b]) and w[a, b] > 0
+    ]
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+def percentile_edge(
+    category_graph: CategoryGraph, percentile: float
+) -> tuple[int, int]:
+    """The category pair whose true weight sits at ``percentile``.
+
+    ``percentile=25`` gives the paper's ``e_low``, ``75`` its ``e_high``.
+    """
+    if not 0 <= percentile <= 100:
+        raise EstimationError(f"percentile must be in [0, 100], got {percentile}")
+    pairs = positive_weight_pairs(category_graph)
+    if len(pairs) == 0:
+        raise EstimationError("category graph has no positive-weight edges")
+    weights = category_graph.weights[pairs[:, 0], pairs[:, 1]]
+    target = np.percentile(weights, percentile)
+    best = int(np.argmin(np.abs(weights - target)))
+    return int(pairs[best, 0]), int(pairs[best, 1])

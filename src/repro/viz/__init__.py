@@ -1,0 +1,7 @@
+"""Terminal charts and series export."""
+
+from repro.viz.ascii import ascii_chart, format_table
+from repro.viz.export import write_series_csv, write_series_json
+from repro.viz.heatmap import weight_heatmap
+
+__all__ = ["ascii_chart", "format_table", "write_series_csv", "write_series_json", "weight_heatmap"]

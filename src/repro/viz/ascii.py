@@ -1,0 +1,111 @@
+"""Terminal rendering of NRMSE curves and CDFs.
+
+No plotting stack is available offline, so figures are rendered as
+log-log ASCII charts — enough to see the convergence slopes and the
+induced-vs-star ordering the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart", "format_table"]
+
+_MARKERS = "ox*+#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Render named (x, y) series on one chart.
+
+    Parameters
+    ----------
+    series:
+        ``{label: (x_values, y_values)}``; non-finite points are skipped.
+    log_x, log_y:
+        Log-scale the axes (the paper's NRMSE plots are log-log).
+    """
+    points: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ok = np.isfinite(xs) & np.isfinite(ys)
+        if log_x:
+            ok &= xs > 0
+        if log_y:
+            ok &= ys > 0
+        if np.any(ok):
+            points[label] = (xs[ok], ys[ok])
+    if not points:
+        return f"{title}\n(no finite data)"
+    all_x = np.concatenate([p[0] for p in points.values()])
+    all_y = np.concatenate([p[1] for p in points.values()])
+    tx = np.log10 if log_x else (lambda v: v)
+    ty = np.log10 if log_y else (lambda v: v)
+    x_lo, x_hi = tx(all_x.min()), tx(all_x.max())
+    y_lo, y_hi = ty(all_y.min()), ty(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (label, (xs, ys)) in enumerate(points.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        cols = np.clip(
+            ((tx(xs) - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((ty(ys) - y_lo) / y_span * (height - 1)).astype(int), 0, height - 1
+        )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+    top = f"{all_y.max():.3g}"
+    bottom = f"{all_y.min():.3g}"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{prefix:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{all_x.min():.3g}".ljust(width // 2)
+        + f"{all_x.max():.3g}".rjust(width // 2)
+    )
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table (used by the table benches)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or 1e-3 <= abs(value) < 1e6:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)

@@ -1,0 +1,47 @@
+"""CSV/JSON export of experiment series.
+
+Every experiment driver can persist its series so external plotting
+tools can regenerate publication-quality figures from the same data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["write_series_csv", "write_series_json"]
+
+
+def write_series_csv(
+    path: "str | Path",
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+) -> None:
+    """Write ``{label: (x, y)}`` series as long-format CSV.
+
+    Columns: ``series, x, y`` — one row per point.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "y"])
+        for label, (xs, ys) in series.items():
+            for x, y in zip(xs, ys):
+                writer.writerow([label, repr(float(x)), repr(float(y))])
+
+
+def write_series_json(
+    path: "str | Path",
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    metadata: Mapping[str, object] | None = None,
+) -> None:
+    """Write series plus free-form metadata as JSON."""
+    payload = {
+        "metadata": dict(metadata or {}),
+        "series": {
+            label: {"x": [float(v) for v in xs], "y": [float(v) for v in ys]}
+            for label, (xs, ys) in series.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))

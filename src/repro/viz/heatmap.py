@@ -1,0 +1,83 @@
+"""ASCII heatmap of a category graph's weight matrix.
+
+A terminal stand-in for the geosocialmap visualisations of Fig. 7:
+categories along both axes (optionally ordered by a position array so
+geography reads left-to-right), cells shaded by log-weight. Continental
+cliques show up as blocks on the diagonal band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.graph.category_graph import CategoryGraph
+
+__all__ = ["weight_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def weight_heatmap(
+    category_graph: CategoryGraph,
+    order: np.ndarray | None = None,
+    max_categories: int = 40,
+    label_width: int = 6,
+) -> str:
+    """Render the weight matrix as an ASCII heatmap.
+
+    Parameters
+    ----------
+    category_graph:
+        The graph to render.
+    order:
+        Optional permutation of category indices (e.g. argsort of geo
+        positions); defaults to the stored order.
+    max_categories:
+        Largest matrix rendered; bigger graphs show the heaviest
+        ``max_categories`` categories (by size).
+    label_width:
+        Row-label truncation width.
+    """
+    c = category_graph.num_categories
+    if c < 2:
+        raise EstimationError("heatmap needs at least two categories")
+    if order is None:
+        order = np.arange(c)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(c)):
+            raise EstimationError("order must be a permutation of the categories")
+    if c > max_categories:
+        sizes = np.asarray(category_graph.sizes, dtype=float)
+        keep = set(np.argsort(-np.nan_to_num(sizes))[:max_categories].tolist())
+        order = np.asarray([i for i in order if i in keep], dtype=np.int64)
+
+    weights = category_graph.weights[np.ix_(order, order)]
+    with np.errstate(invalid="ignore"):
+        positive = weights[np.isfinite(weights) & (weights > 0)]
+    if positive.size == 0:
+        raise EstimationError("category graph has no positive weights to render")
+    lo = np.log10(positive.min())
+    hi = np.log10(positive.max())
+    degenerate = hi == lo  # all positive weights equal: shade them fully
+    span = (hi - lo) or 1.0
+
+    lines = []
+    names = [category_graph.names[i][:label_width] for i in order]
+    for row, name in enumerate(names):
+        cells = []
+        for col in range(len(order)):
+            value = weights[row, col]
+            if row == col:
+                cells.append("\\")
+            elif not np.isfinite(value) or value <= 0:
+                cells.append(" ")
+            else:
+                level = 1.0 if degenerate else (np.log10(value) - lo) / span
+                cells.append(_SHADES[int(level * (len(_SHADES) - 1))])
+        lines.append(f"{name:>{label_width}} |" + "".join(cells) + "|")
+    lines.append(
+        f"{'':>{label_width}}  shading: log10 w in [{lo:.1f}, {hi:.1f}]"
+    )
+    return "\n".join(lines)

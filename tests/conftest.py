@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CategoryPartition, Graph
+
+
+@pytest.fixture
+def triangle_pair() -> Graph:
+    """Two triangles joined by one bridge edge (6 nodes, 7 edges)."""
+    return Graph.from_edges(
+        6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]
+    )
+
+
+@pytest.fixture
+def triangle_pair_partition() -> CategoryPartition:
+    """Categories matching the two triangles of ``triangle_pair``."""
+    return CategoryPartition(np.array([0, 0, 0, 1, 1, 1]), names=["left", "right"])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 5-node path 0-1-2-3-4."""
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def paper_figure1() -> tuple[Graph, CategoryPartition]:
+    """A small graph with three categories, in the spirit of Fig. 1.
+
+    Categories: white = {0, 1, 2}, gray = {3, 4}, black = {5, 6, 7}.
+    Cross-cuts: white-black has 3 of 9 possible edges, white-gray 2 of 6,
+    gray-black 1 of 6.
+    """
+    edges = [
+        (0, 1), (1, 2),          # intra white
+        (3, 4),                  # intra gray
+        (5, 6), (6, 7),          # intra black
+        (0, 5), (1, 6), (2, 7),  # white-black cut: 3 edges
+        (0, 3), (1, 4),          # white-gray cut: 2 edges
+        (4, 5),                  # gray-black cut: 1 edge
+    ]
+    graph = Graph.from_edges(8, edges)
+    partition = CategoryPartition(
+        np.array([0, 0, 0, 1, 1, 2, 2, 2]), names=["white", "gray", "black"]
+    )
+    return graph, partition
+
+
+def random_test_graph(
+    rng: np.random.Generator, num_nodes: int = 30, edge_prob: float = 0.2
+) -> Graph:
+    """An Erdos-Renyi graph for randomized tests (helper, not a fixture)."""
+    upper = rng.random((num_nodes, num_nodes)) < edge_prob
+    rows, cols = np.nonzero(np.triu(upper, k=1))
+    return Graph.from_edges(num_nodes, np.column_stack((rows, cols)))

@@ -1,0 +1,190 @@
+"""Tests for the category-size estimators (Eqs. 4, 5, 11, 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.core import estimate_sizes_induced, estimate_sizes_star
+from repro.generators import planted_category_graph
+from repro.graph import true_category_graph
+from repro.sampling import (
+    NodeSample,
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+    observe_star,
+)
+
+
+def _uniform_sample(nodes) -> NodeSample:
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return NodeSample(nodes, np.ones(len(nodes)), design="uis", uniform=True)
+
+
+class TestInducedSizesExactAlgebra:
+    """Eq. (4): |A|_hat = N * |S_A| / |S| — checked by hand."""
+
+    def test_hand_computed(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 1, 3, 5]))
+        sizes = estimate_sizes_induced(obs, population_size=8)
+        white = partition.index_of("white")
+        assert sizes[white] == pytest.approx(8 * 2 / 4)
+        assert sizes.sum() == pytest.approx(8.0)
+
+    def test_multiplicity_counted(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 0, 3, 5]))
+        sizes = estimate_sizes_induced(obs, partition.num_nodes)
+        white = partition.index_of("white")
+        assert sizes[white] == pytest.approx(8 * 2 / 4)
+
+    def test_weighted_reduces_to_eq11(self, paper_figure1):
+        """Eq. (11) with explicit weights, checked by hand."""
+        graph, partition = paper_figure1
+        sample = NodeSample(
+            np.array([0, 3]), np.array([4.0, 1.0]), design="rw", uniform=False
+        )
+        obs = observe_induced(graph, partition, sample)
+        sizes = estimate_sizes_induced(obs, population_size=8)
+        white = partition.index_of("white")
+        gray = partition.index_of("gray")
+        # w-1(S_white) = 1/4, w-1(S_gray) = 1, w-1(S) = 5/4.
+        assert sizes[white] == pytest.approx(8 * (1 / 4) / (5 / 4))
+        assert sizes[gray] == pytest.approx(8 * 1.0 / (5 / 4))
+
+    def test_weight_scale_invariance(self, paper_figure1):
+        """The unknown constant of w(v) must cancel (Section 5.1)."""
+        graph, partition = paper_figure1
+        s1 = NodeSample(np.array([0, 3, 6]), np.array([2.0, 1.0, 3.0]), uniform=False)
+        s2 = NodeSample(np.array([0, 3, 6]), np.array([20.0, 10.0, 30.0]), uniform=False)
+        a = estimate_sizes_induced(observe_induced(graph, partition, s1), 8)
+        b = estimate_sizes_induced(observe_induced(graph, partition, s2), 8)
+        assert np.allclose(a, b)
+
+    def test_census_recovers_truth(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        sizes = estimate_sizes_induced(obs, graph.num_nodes)
+        assert np.allclose(sizes, partition.sizes())
+
+    def test_bad_population(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError):
+            estimate_sizes_induced(obs, -5)
+
+
+class TestStarSizes:
+    def test_census_recovers_truth(self, paper_figure1):
+        """With S = V under UIS, every Eq. (5) ingredient is exact."""
+        graph, partition = paper_figure1
+        obs = observe_star(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        sizes = estimate_sizes_star(obs, graph.num_nodes)
+        assert np.allclose(sizes, partition.sizes())
+
+    def test_requires_star_observation(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError, match="StarObservation"):
+            estimate_sizes_star(obs, 8)
+
+    def test_hand_computed_single_draw(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        sizes = estimate_sizes_star(obs, population_size=8)
+        # S = {0}: k_V_hat = deg(0) = 3, k_A_hat(white) = 3,
+        # f_vol(white) = 1/3 (one of node 0's three neighbors is white).
+        white = partition.index_of("white")
+        assert sizes[white] == pytest.approx(8 * (1 / 3) * 3 / 3)
+
+    def test_global_model_covers_unsampled_categories(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0, 1]))
+        per_cat = estimate_sizes_star(obs, 8, mean_degree_model="per-category")
+        global_model = estimate_sizes_star(obs, 8, mean_degree_model="global")
+        black = partition.index_of("black")
+        assert np.isnan(per_cat[black])  # no draws from black
+        assert np.isfinite(global_model[black])  # footnote-4 variant works
+
+    def test_unknown_model_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError, match="mean_degree_model"):
+            estimate_sizes_star(obs, 8, mean_degree_model="banana")
+
+    def test_weight_scale_invariance(self, paper_figure1):
+        graph, partition = paper_figure1
+        s1 = NodeSample(np.array([0, 3, 6]), np.array([2.0, 1.0, 3.0]), uniform=False)
+        s2 = NodeSample(np.array([0, 3, 6]), np.array([4.0, 2.0, 6.0]), uniform=False)
+        a = estimate_sizes_star(observe_star(graph, partition, s1), 8)
+        b = estimate_sizes_star(observe_star(graph, partition, s2), 8)
+        assert np.allclose(a, b, equal_nan=True)
+
+
+class TestConsistency:
+    """Empirical convergence on the paper's synthetic model."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        graph, partition = planted_category_graph(k=10, scale=40, rng=0)
+        return graph, partition, true_category_graph(graph, partition)
+
+    def test_uis_both_estimators_converge(self, model):
+        graph, partition, truth = model
+        sampler = UniformIndependenceSampler(graph)
+        sample = sampler.sample(30_000, rng=1)
+        induced = estimate_sizes_induced(
+            observe_induced(graph, partition, sample), graph.num_nodes
+        )
+        star = estimate_sizes_star(
+            observe_star(graph, partition, sample), graph.num_nodes
+        )
+        big = truth.sizes >= 50  # relative error is meaningful for big cats
+        assert np.all(np.abs(induced[big] - truth.sizes[big]) / truth.sizes[big] < 0.25)
+        assert np.all(np.abs(star[big] - truth.sizes[big]) / truth.sizes[big] < 0.25)
+
+    def test_rw_weighted_estimators_converge(self, model):
+        graph, partition, truth = model
+        sample = RandomWalkSampler(graph).sample(30_000, rng=2)
+        induced = estimate_sizes_induced(
+            observe_induced(graph, partition, sample), graph.num_nodes
+        )
+        star = estimate_sizes_star(
+            observe_star(graph, partition, sample), graph.num_nodes
+        )
+        big = truth.sizes >= 50
+        assert np.all(np.abs(induced[big] - truth.sizes[big]) / truth.sizes[big] < 0.3)
+        assert np.all(np.abs(star[big] - truth.sizes[big]) / truth.sizes[big] < 0.3)
+
+    def test_rw_without_correction_is_biased(self):
+        """Dropping the HH correction must distort the estimates (Sec. 5).
+
+        Uses an SBM with equal block sizes but very different densities,
+        so RW's degree bias inflates the dense block.
+        """
+        from repro.generators import stochastic_block_model
+
+        graph, partition = stochastic_block_model(
+            [300, 300],
+            np.array([[0.2, 0.01], [0.01, 0.02]]),
+            rng=0,
+        )
+        sample = RandomWalkSampler(graph).sample(30_000, rng=3)
+        naive = NodeSample(
+            sample.nodes, np.ones(sample.size), design="rw-naive", uniform=True
+        )
+        biased = estimate_sizes_induced(
+            observe_induced(graph, partition, naive), graph.num_nodes
+        )
+        corrected = estimate_sizes_induced(
+            observe_induced(graph, partition, sample), graph.num_nodes
+        )
+        assert biased[0] > 1.5 * 300  # dense block badly over-counted
+        assert abs(corrected[0] - 300) / 300 < 0.2

@@ -1,0 +1,245 @@
+"""Tests for the edge-weight estimators (Eqs. 8, 9, 15, 16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.core import (
+    estimate_intra_density,
+    estimate_weights_induced,
+    estimate_weights_star,
+)
+from repro.generators import planted_category_graph
+from repro.graph import true_category_graph
+from repro.sampling import (
+    NodeSample,
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+    observe_star,
+)
+
+
+def _uniform_sample(nodes) -> NodeSample:
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return NodeSample(nodes, np.ones(len(nodes)), design="uis", uniform=True)
+
+
+class TestInducedWeightsExactAlgebra:
+    def test_hand_computed_eq8(self, paper_figure1):
+        graph, partition = paper_figure1
+        # S = {0, 1, 3, 5}: S_white={0,1}, S_gray={3}, S_black={5}.
+        # white-black edges among sample: (0,5) only => 1 / (2*1).
+        # white-gray edges: (0,3) => 1 / (2*1). gray-black: none => 0.
+        obs = observe_induced(graph, partition, _uniform_sample([0, 1, 3, 5]))
+        w = estimate_weights_induced(obs)
+        white = partition.index_of("white")
+        gray = partition.index_of("gray")
+        black = partition.index_of("black")
+        assert w[white, black] == pytest.approx(0.5)
+        assert w[white, gray] == pytest.approx(0.5)
+        assert w[gray, black] == 0.0
+
+    def test_multiplicity_squares_contributions(self, paper_figure1):
+        graph, partition = paper_figure1
+        # Node 0 drawn twice: pairs (0a,5), (0b,5) both count (Eq. 8 note).
+        obs = observe_induced(graph, partition, _uniform_sample([0, 0, 5]))
+        w = estimate_weights_induced(obs)
+        white = partition.index_of("white")
+        black = partition.index_of("black")
+        assert w[white, black] == pytest.approx(2 / (2 * 1))
+
+    def test_census_recovers_truth(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        w = estimate_weights_induced(obs)
+        truth = true_category_graph(graph, partition).weights
+        assert np.allclose(w, truth, equal_nan=True)
+
+    def test_weighted_eq15_hand_computed(self, paper_figure1):
+        graph, partition = paper_figure1
+        sample = NodeSample(
+            np.array([0, 5]), np.array([2.0, 4.0]), design="rw", uniform=False
+        )
+        obs = observe_induced(graph, partition, sample)
+        w = estimate_weights_induced(obs)
+        white = partition.index_of("white")
+        black = partition.index_of("black")
+        # numerator = 1/(2*4); denominator = (1/2)*(1/4)
+        assert w[white, black] == pytest.approx((1 / 8) / (1 / 8))
+
+    def test_diagonal_nan(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 1, 3]))
+        w = estimate_weights_induced(obs)
+        assert np.all(np.isnan(np.diag(w)))
+
+    def test_unsampled_pair_nan(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 1]))
+        w = estimate_weights_induced(obs)
+        gray = partition.index_of("gray")
+        black = partition.index_of("black")
+        assert np.isnan(w[gray, black])
+
+    def test_symmetry(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 1, 3, 5, 7]))
+        w = estimate_weights_induced(obs)
+        assert np.allclose(w, w.T, equal_nan=True)
+
+    def test_star_observation_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError, match="InducedObservation"):
+            estimate_weights_induced(obs)
+
+
+class TestStarWeightsExactAlgebra:
+    def test_hand_computed_eq9(self, paper_figure1):
+        graph, partition = paper_figure1
+        # S = {0}: S_white = {0}. |E_{0,black}| = 1 (edge 0-5),
+        # |E_{0,gray}| = 1 (edge 0-3). With true sizes |black|=3:
+        # w(white, black) = 1 / (1*3 + 0) = 1/3.
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        sizes = np.array([3.0, 2.0, 3.0])  # white, gray, black (sorted names)
+        sizes = np.array(
+            [
+                {"white": 3.0, "gray": 2.0, "black": 3.0}[name]
+                for name in partition.names
+            ]
+        )
+        w = estimate_weights_star(obs, sizes)
+        white = partition.index_of("white")
+        gray = partition.index_of("gray")
+        black = partition.index_of("black")
+        assert w[white, black] == pytest.approx(1 / 3)
+        assert w[white, gray] == pytest.approx(1 / 2)
+        assert np.isnan(w[gray, black])  # neither gray nor black sampled
+
+    def test_both_sides_contribute(self, paper_figure1):
+        graph, partition = paper_figure1
+        # S = {0, 5}: white-black numerator = |E_{0,black}| + |E_{5,white}|
+        # = 1 + 2 (node 5 neighbors 0 and 6... node 5 nbrs: 0, 4, 6 ->
+        # white count 1). Let's compute from the graph to be safe.
+        obs = observe_star(graph, partition, _uniform_sample([0, 5]))
+        sizes = np.array(
+            [
+                {"white": 3.0, "gray": 2.0, "black": 3.0}[name]
+                for name in partition.names
+            ]
+        )
+        w = estimate_weights_star(obs, sizes)
+        white = partition.index_of("white")
+        black = partition.index_of("black")
+        e_0_black = sum(
+            1 for u in graph.neighbors(0) if partition.category_of(int(u)) == black
+        )
+        e_5_white = sum(
+            1 for u in graph.neighbors(5) if partition.category_of(int(u)) == white
+        )
+        expected = (e_0_black + e_5_white) / (1 * 3.0 + 1 * 3.0)
+        assert w[white, black] == pytest.approx(expected)
+
+    def test_census_with_true_sizes_recovers_truth(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        truth = true_category_graph(graph, partition)
+        w = estimate_weights_star(obs, truth.sizes)
+        assert np.allclose(w, truth.weights, equal_nan=True)
+
+    def test_weight_scale_invariance(self, paper_figure1):
+        graph, partition = paper_figure1
+        truth = true_category_graph(graph, partition)
+        s1 = NodeSample(np.array([0, 3, 6]), np.array([2.0, 1.0, 3.0]), uniform=False)
+        s2 = NodeSample(np.array([0, 3, 6]), np.array([4.0, 2.0, 6.0]), uniform=False)
+        a = estimate_weights_star(observe_star(graph, partition, s1), truth.sizes)
+        b = estimate_weights_star(observe_star(graph, partition, s2), truth.sizes)
+        assert np.allclose(a, b, equal_nan=True)
+
+    def test_bad_sizes_shape(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError):
+            estimate_weights_star(obs, np.ones(7))
+
+    def test_induced_observation_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError, match="StarObservation"):
+            estimate_weights_star(obs, np.ones(3))
+
+
+class TestIntraDensity:
+    def test_census_matches_truth(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        density = estimate_intra_density(obs)
+        # white: 2 intra edges of 3 ordered... 2*2/(3*3)
+        white = partition.index_of("white")
+        assert density[white] == pytest.approx(2 * 2 / 9)
+
+    def test_requires_induced(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        with pytest.raises(EstimationError):
+            estimate_intra_density(obs)
+
+
+class TestConvergenceAndStarAdvantage:
+    @pytest.fixture(scope="class")
+    def model(self):
+        graph, partition = planted_category_graph(k=12, scale=40, rng=0)
+        return graph, partition, true_category_graph(graph, partition)
+
+    def test_uis_convergence(self, model):
+        graph, partition, truth = model
+        sample = UniformIndependenceSampler(graph).sample(30_000, rng=1)
+        w_induced = estimate_weights_induced(observe_induced(graph, partition, sample))
+        w_star = estimate_weights_star(
+            observe_star(graph, partition, sample), truth.sizes
+        )
+        mask = np.isfinite(truth.weights) & (truth.weights > 0)
+        rel_induced = np.abs(w_induced[mask] - truth.weights[mask]) / truth.weights[mask]
+        rel_star = np.abs(w_star[mask] - truth.weights[mask]) / truth.weights[mask]
+        assert np.nanmedian(rel_induced) < 0.5
+        assert np.nanmedian(rel_star) < 0.25
+
+    def test_star_beats_induced_at_small_samples(self, model):
+        """The paper's headline: star needs far fewer samples (Sec. 6.3.3)."""
+        graph, partition, truth = model
+        mask = np.isfinite(truth.weights) & (truth.weights > 0)
+        star_errors, induced_errors = [], []
+        for seed in range(5):
+            sample = UniformIndependenceSampler(graph).sample(2000, rng=seed)
+            w_i = estimate_weights_induced(
+                observe_induced(graph, partition, sample)
+            )
+            w_s = estimate_weights_star(
+                observe_star(graph, partition, sample), truth.sizes
+            )
+            induced_errors.append(
+                np.nanmedian(np.abs(w_i[mask] - truth.weights[mask]) / truth.weights[mask])
+            )
+            star_errors.append(
+                np.nanmedian(np.abs(w_s[mask] - truth.weights[mask]) / truth.weights[mask])
+            )
+        assert np.mean(star_errors) < np.mean(induced_errors)
+
+    def test_rw_weighted_convergence(self, model):
+        graph, partition, truth = model
+        sample = RandomWalkSampler(graph).sample(30_000, rng=2)
+        w_star = estimate_weights_star(
+            observe_star(graph, partition, sample), truth.sizes
+        )
+        mask = np.isfinite(truth.weights) & (truth.weights > 0)
+        rel = np.abs(w_star[mask] - truth.weights[mask]) / truth.weights[mask]
+        assert np.nanmedian(rel) < 0.3

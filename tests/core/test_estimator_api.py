@@ -1,0 +1,159 @@
+"""Tests for the high-level estimation API and HH helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.core import (
+    estimate_category_graph,
+    estimate_category_sizes,
+    estimate_edge_weights,
+    hh_ratio,
+    hh_total,
+    reweighted_count,
+)
+from repro.generators import planted_category_graph
+from repro.graph import CategoryGraph, true_category_graph
+from repro.sampling import (
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+    observe_star,
+)
+
+
+class TestHansenHurwitz:
+    def test_total_census_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        weights = np.ones(3)
+        assert hh_total(values, weights) == 6.0
+
+    def test_total_reweighting(self):
+        assert hh_total(np.array([4.0]), np.array([2.0])) == 2.0
+
+    def test_total_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            hh_total(np.array([]), np.array([]))
+
+    def test_total_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            hh_total(np.ones(2), np.ones(3))
+
+    def test_total_nonpositive_weights(self):
+        with pytest.raises(EstimationError):
+            hh_total(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_ratio_scale_invariance(self):
+        num = np.array([1.0, 0.0, 1.0])
+        den = np.ones(3)
+        w = np.array([2.0, 4.0, 8.0])
+        assert hh_ratio(num, den, w) == pytest.approx(hh_ratio(num, den, 10 * w))
+
+    def test_ratio_zero_denominator(self):
+        with pytest.raises(EstimationError):
+            hh_ratio(np.ones(2), np.zeros(2), np.ones(2))
+
+    def test_reweighted_count(self):
+        mask = np.array([True, False, True])
+        mult = np.array([2, 1, 1])
+        w = np.array([2.0, 1.0, 4.0])
+        assert reweighted_count(mask, mult, w) == pytest.approx(2 / 2 + 1 / 4)
+
+
+class TestHighLevelApi:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph, partition = planted_category_graph(k=10, scale=40, rng=0)
+        truth = true_category_graph(graph, partition)
+        return graph, partition, truth
+
+    def test_estimate_category_graph_star(self, setup):
+        graph, partition, truth = setup
+        sample = UniformIndependenceSampler(graph).sample(10_000, rng=1)
+        obs = observe_star(graph, partition, sample)
+        estimate = estimate_category_graph(obs, population_size=graph.num_nodes)
+        assert isinstance(estimate, CategoryGraph)
+        assert estimate.names == partition.names
+        big = truth.sizes >= 50
+        rel = np.abs(estimate.sizes[big] - truth.sizes[big]) / truth.sizes[big]
+        assert np.all(rel < 0.3)
+
+    def test_estimate_category_graph_induced(self, setup):
+        graph, partition, truth = setup
+        sample = UniformIndependenceSampler(graph).sample(10_000, rng=2)
+        obs = observe_induced(graph, partition, sample)
+        estimate = estimate_category_graph(obs, population_size=graph.num_nodes)
+        mask = np.isfinite(truth.weights) & (truth.weights > 0)
+        finite = np.isfinite(estimate.weights[mask])
+        assert finite.mean() > 0.9
+
+    def test_population_estimated_when_omitted(self, setup):
+        graph, partition, _ = setup
+        sample = UniformIndependenceSampler(graph).sample(10_000, rng=3)
+        obs = observe_star(graph, partition, sample)
+        estimate = estimate_category_graph(obs)
+        assert abs(estimate.sizes.sum() - graph.num_nodes) / graph.num_nodes < 0.3
+
+    def test_auto_size_method_uses_star_for_crawls(self, setup):
+        graph, partition, truth = setup
+        sample = RandomWalkSampler(graph).sample(10_000, rng=4)
+        obs = observe_star(graph, partition, sample)
+        auto = estimate_category_sizes(obs, population_size=graph.num_nodes)
+        star = estimate_category_sizes(
+            obs, population_size=graph.num_nodes, method="star"
+        )
+        assert np.allclose(auto, star, equal_nan=True)
+
+    def test_auto_size_method_uses_induced_for_uis(self, setup):
+        graph, partition, _ = setup
+        sample = UniformIndependenceSampler(graph).sample(5000, rng=5)
+        obs = observe_star(graph, partition, sample)
+        auto = estimate_category_sizes(obs, population_size=graph.num_nodes)
+        induced = estimate_category_sizes(
+            obs, population_size=graph.num_nodes, method="induced"
+        )
+        assert np.allclose(auto, induced, equal_nan=True)
+
+    def test_star_method_on_induced_observation_rejected(self, setup):
+        graph, partition, _ = setup
+        sample = UniformIndependenceSampler(graph).sample(1000, rng=6)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError):
+            estimate_category_sizes(
+                obs, population_size=graph.num_nodes, method="star"
+            )
+
+    def test_unknown_methods_rejected(self, setup):
+        graph, partition, _ = setup
+        sample = UniformIndependenceSampler(graph).sample(1000, rng=7)
+        obs = observe_star(graph, partition, sample)
+        with pytest.raises(EstimationError):
+            estimate_category_sizes(obs, population_size=10, method="banana")
+        with pytest.raises(EstimationError):
+            estimate_edge_weights(obs, population_size=10, method="banana")
+
+    def test_cuts_exposed(self, setup):
+        graph, partition, truth = setup
+        sample = UniformIndependenceSampler(graph).sample(10_000, rng=8)
+        obs = observe_star(graph, partition, sample)
+        estimate = estimate_category_graph(obs, population_size=graph.num_nodes)
+        assert estimate.cuts is not None
+        # cut estimates should be in the ballpark of the true cut counts
+        mask = np.isfinite(truth.weights) & (truth.weights > 0)
+        ratio = estimate.cuts[mask] / truth.cuts[mask]
+        assert np.nanmedian(ratio) == pytest.approx(1.0, abs=0.4)
+
+    def test_explicit_sizes_passed_to_weights(self, setup):
+        graph, partition, truth = setup
+        sample = UniformIndependenceSampler(graph).sample(5000, rng=9)
+        obs = observe_star(graph, partition, sample)
+        w_true_sizes = estimate_edge_weights(obs, category_sizes=truth.sizes)
+        w_est_sizes = estimate_edge_weights(
+            obs, population_size=graph.num_nodes
+        )
+        # both finite on sampled pairs, values close but not identical
+        mask = np.isfinite(w_true_sizes) & np.isfinite(w_est_sizes)
+        assert mask.sum() > 0
+        assert not np.allclose(w_true_sizes[mask], w_est_sizes[mask])

@@ -1,0 +1,186 @@
+"""Property-based tests for the estimator algebra (hypothesis).
+
+The key invariants:
+
+* census identity — sampling every node exactly once under UIS makes
+  every estimator return the exact truth;
+* weight-scale invariance — multiplying all sampling weights by any
+  positive constant never changes any estimate (Section 5.1);
+* permutation invariance — estimates do not depend on draw order;
+* range — estimated weights from a census lie in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    estimate_sizes_induced,
+    estimate_sizes_star,
+    estimate_weights_induced,
+    estimate_weights_star,
+)
+from repro.graph import CategoryPartition, Graph, true_category_graph
+from repro.sampling import NodeSample, observe_induced, observe_star
+
+
+@st.composite
+def graph_partition_sample(draw):
+    """Random graph + partition + with-replacement sample + weights."""
+    n = draw(st.integers(min_value=3, max_value=20))
+    m = draw(st.integers(min_value=1, max_value=40))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    if not edges:
+        edges = [(0, 1)]
+    graph = Graph.from_edges(n, np.asarray(edges, dtype=np.int64))
+    num_categories = draw(st.integers(min_value=2, max_value=4))
+    labels = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_categories - 1),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    partition = CategoryPartition(labels, num_categories=num_categories)
+    sample_size = draw(st.integers(min_value=1, max_value=15))
+    nodes = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=sample_size,
+                max_size=sample_size,
+            )
+        ),
+        dtype=np.int64,
+    )
+    # Per-node weights so that repeated draws agree.
+    node_weights = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=8.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return graph, partition, nodes, node_weights
+
+
+@given(graph_partition_sample(), st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_weight_scale_invariance_all_estimators(case, constant):
+    graph, partition, nodes, node_weights = case
+    s1 = NodeSample(nodes, node_weights[nodes], design="wis", uniform=False)
+    s2 = NodeSample(
+        nodes, constant * node_weights[nodes], design="wis", uniform=False
+    )
+    n = graph.num_nodes
+    for observe, size_est in (
+        (observe_induced, estimate_sizes_induced),
+        (observe_star, None),
+    ):
+        o1, o2 = observe(graph, partition, s1), observe(graph, partition, s2)
+        if size_est is not None:
+            assert np.allclose(size_est(o1, n), size_est(o2, n), equal_nan=True)
+    so1 = observe_star(graph, partition, s1)
+    so2 = observe_star(graph, partition, s2)
+    assert np.allclose(
+        estimate_sizes_star(so1, n), estimate_sizes_star(so2, n), equal_nan=True
+    )
+    io1 = observe_induced(graph, partition, s1)
+    io2 = observe_induced(graph, partition, s2)
+    assert np.allclose(
+        estimate_weights_induced(io1),
+        estimate_weights_induced(io2),
+        equal_nan=True,
+    )
+    sizes = partition.sizes().astype(float)
+    assert np.allclose(
+        estimate_weights_star(so1, sizes),
+        estimate_weights_star(so2, sizes),
+        equal_nan=True,
+    )
+
+
+@given(graph_partition_sample())
+@settings(max_examples=40, deadline=None)
+def test_draw_order_invariance(case):
+    graph, partition, nodes, node_weights = case
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(len(nodes))
+    s1 = NodeSample(nodes, node_weights[nodes], uniform=False)
+    s2 = NodeSample(nodes[perm], node_weights[nodes][perm], uniform=False)
+    n = graph.num_nodes
+    a = estimate_sizes_induced(observe_induced(graph, partition, s1), n)
+    b = estimate_sizes_induced(observe_induced(graph, partition, s2), n)
+    assert np.allclose(a, b, equal_nan=True)
+    wa = estimate_weights_induced(observe_induced(graph, partition, s1))
+    wb = estimate_weights_induced(observe_induced(graph, partition, s2))
+    assert np.allclose(wa, wb, equal_nan=True)
+
+
+@given(graph_partition_sample())
+@settings(max_examples=40, deadline=None)
+def test_census_identity(case):
+    """One uniform draw of every node recovers exact truth everywhere."""
+    graph, partition, _, _ = case
+    census = NodeSample(
+        np.arange(graph.num_nodes, dtype=np.int64),
+        np.ones(graph.num_nodes),
+        design="uis",
+        uniform=True,
+    )
+    truth = true_category_graph(graph, partition)
+    io = observe_induced(graph, partition, census)
+    so = observe_star(graph, partition, census)
+    n = graph.num_nodes
+    assert np.allclose(
+        estimate_sizes_induced(io, n), partition.sizes(), equal_nan=True
+    )
+    star_sizes = estimate_sizes_star(so, n)
+    # The star estimator is volume-based (Eq. 5): it is exactly right for
+    # every category with positive volume, undefined (nan) otherwise.
+    has_volume = partition.volumes(graph) > 0
+    assert np.allclose(star_sizes[has_volume], partition.sizes()[has_volume])
+    assert np.allclose(
+        estimate_weights_induced(io), truth.weights, equal_nan=True
+    )
+    assert np.allclose(
+        estimate_weights_star(so, truth.sizes), truth.weights, equal_nan=True
+    )
+
+
+@given(graph_partition_sample())
+@settings(max_examples=40, deadline=None)
+def test_estimated_weights_nonnegative(case):
+    graph, partition, nodes, node_weights = case
+    sample = NodeSample(nodes, node_weights[nodes], uniform=False)
+    w = estimate_weights_induced(observe_induced(graph, partition, sample))
+    finite = w[np.isfinite(w)]
+    assert np.all(finite >= 0)
+    sizes = np.maximum(partition.sizes().astype(float), 1.0)
+    ws = estimate_weights_star(observe_star(graph, partition, sample), sizes)
+    finite = ws[np.isfinite(ws)]
+    assert np.all(finite >= 0)
+
+
+@given(graph_partition_sample())
+@settings(max_examples=30, deadline=None)
+def test_sizes_sum_to_population_induced(case):
+    """Eq. (4)/(11) sizes always sum exactly to N (ratio construction)."""
+    graph, partition, nodes, node_weights = case
+    sample = NodeSample(nodes, node_weights[nodes], uniform=False)
+    sizes = estimate_sizes_induced(
+        observe_induced(graph, partition, sample), graph.num_nodes
+    )
+    assert np.isclose(sizes.sum(), graph.num_nodes)

@@ -1,0 +1,155 @@
+"""Tests for population-size estimation (Sec. 4.3) and bootstrap (Sec. 5.3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.core import (
+    bootstrap_estimate,
+    count_collisions,
+    estimate_population_size,
+    estimate_sizes_induced,
+)
+from repro.generators import gnm
+from repro.graph import CategoryPartition
+from repro.sampling import (
+    NodeSample,
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+    observe_star,
+)
+
+
+class TestCountCollisions:
+    def test_simple(self):
+        # draws of distinct rows: [0, 1, 0, 0] -> pairs (0,2), (0,3), (2,3)
+        assert count_collisions(np.array([0, 1, 0, 0])) == 3
+
+    def test_no_collisions(self):
+        assert count_collisions(np.array([0, 1, 2])) == 0
+
+    def test_min_gap_filters_adjacent(self):
+        # rows [0, 0, 1, 0]: pairs (0,1) gap1, (0,3) gap3, (1,3) gap2
+        assert count_collisions(np.array([0, 0, 1, 0]), min_gap=2) == 2
+        assert count_collisions(np.array([0, 0, 1, 0]), min_gap=4) == 0
+
+    def test_invalid_gap(self):
+        with pytest.raises(EstimationError):
+            count_collisions(np.array([0]), min_gap=0)
+
+
+class TestPopulationSize:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gnm(2000, 12_000, rng=0)
+
+    @pytest.fixture(scope="class")
+    def partition(self, graph):
+        return CategoryPartition.single_category(graph.num_nodes)
+
+    def test_uniform_birthday(self, graph, partition):
+        sample = UniformIndependenceSampler(graph).sample(2000, rng=1)
+        obs = observe_induced(graph, partition, sample)
+        estimate = estimate_population_size(obs)
+        assert abs(estimate - graph.num_nodes) / graph.num_nodes < 0.25
+
+    def test_katzir_for_rw(self, graph, partition):
+        sample = RandomWalkSampler(graph).sample(4000, rng=2)
+        obs = observe_star(graph, partition, sample)
+        estimate = estimate_population_size(obs, min_gap=5)
+        assert abs(estimate - graph.num_nodes) / graph.num_nodes < 0.35
+
+    def test_katzir_via_rw_weights_induced(self, graph, partition):
+        # Induced observation lacks degrees, but the rw design's weights
+        # ARE degrees, so the estimator still works.
+        sample = RandomWalkSampler(graph).sample(4000, rng=3)
+        obs = observe_induced(graph, partition, sample)
+        estimate = estimate_population_size(obs, min_gap=5)
+        assert abs(estimate - graph.num_nodes) / graph.num_nodes < 0.35
+
+    def test_no_collisions_raises(self, graph, partition):
+        sample = NodeSample(
+            np.arange(10, dtype=np.int64), np.ones(10), design="uis", uniform=True
+        )
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError, match="collision"):
+            estimate_population_size(obs)
+
+    def test_tiny_sample_rejected(self, graph, partition):
+        sample = NodeSample(np.array([0]), np.ones(1), uniform=True)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError):
+            estimate_population_size(obs)
+
+    def test_unknown_design_without_degrees_rejected(self, graph, partition):
+        sample = NodeSample(
+            np.array([0, 0, 1]), np.full(3, 2.0), design="mystery", uniform=False
+        )
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError, match="degrees"):
+            estimate_population_size(obs)
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def observation(self, request):
+        graph = gnm(500, 3000, rng=0)
+        labels = np.arange(500) % 3
+        partition = CategoryPartition(labels)
+        sample = UniformIndependenceSampler(graph).sample(800, rng=1)
+        return observe_induced(graph, partition, sample), graph.num_nodes
+
+    def test_mean_near_point_estimate(self, observation):
+        obs, n = observation
+        point = estimate_sizes_induced(obs, n)
+        result = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=100, rng=0
+        )
+        assert np.allclose(result.mean, point, rtol=0.1)
+
+    def test_ci_brackets_point(self, observation):
+        obs, n = observation
+        point = estimate_sizes_induced(obs, n)
+        result = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=200, rng=1
+        )
+        assert np.all(result.ci_low <= point + 1e-9)
+        assert np.all(result.ci_high >= point - 1e-9)
+
+    def test_std_positive(self, observation):
+        obs, n = observation
+        result = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=50, rng=2
+        )
+        assert np.all(result.std > 0)
+
+    def test_coefficient_of_variation(self, observation):
+        obs, n = observation
+        result = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=50, rng=3
+        )
+        cv = result.coefficient_of_variation()
+        assert np.all(cv[np.isfinite(cv)] >= 0)
+
+    def test_invalid_replications(self, observation):
+        obs, n = observation
+        with pytest.raises(EstimationError):
+            bootstrap_estimate(obs, lambda o: np.zeros(3), replications=1)
+
+    def test_invalid_confidence(self, observation):
+        obs, n = observation
+        with pytest.raises(EstimationError):
+            bootstrap_estimate(obs, lambda o: np.zeros(3), confidence=1.5)
+
+    def test_reproducible(self, observation):
+        obs, n = observation
+        r1 = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=30, rng=7
+        )
+        r2 = bootstrap_estimate(
+            obs, lambda o: estimate_sizes_induced(o, n), replications=30, rng=7
+        )
+        assert np.allclose(r1.mean, r2.mean)

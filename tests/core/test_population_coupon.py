@@ -1,0 +1,88 @@
+"""Tests for the reversed-coupon-collector population estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_population_size_coupon
+from repro.exceptions import EstimationError
+from repro.generators import gnm
+from repro.graph import CategoryPartition
+from repro.sampling import (
+    NodeSample,
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = gnm(3000, 15_000, rng=0)
+    partition = CategoryPartition.single_category(graph.num_nodes)
+    return graph, partition
+
+
+class TestCouponEstimator:
+    def test_accuracy_improves_with_sample(self, setup):
+        graph, partition = setup
+        errors = []
+        for n in (2000, 10_000):
+            sample = UniformIndependenceSampler(graph).sample(n, rng=1)
+            obs = observe_induced(graph, partition, sample)
+            estimate = estimate_population_size_coupon(obs)
+            errors.append(abs(estimate - graph.num_nodes) / graph.num_nodes)
+        assert errors[0] < 0.35
+        assert errors[1] < 0.1
+
+    def test_exact_inversion_on_expected_curve(self):
+        """If D equals its expectation exactly, the inversion is tight."""
+        population = 10_000.0
+        n = 5000
+        expected_distinct = population * -np.expm1(
+            n * np.log1p(-1.0 / population)
+        )
+        # Build a synthetic observation with that many distinct draws.
+        distinct = int(round(expected_distinct))
+        nodes = np.concatenate(
+            (np.arange(distinct), np.zeros(n - distinct, dtype=np.int64))
+        )
+        sample = NodeSample(nodes, np.ones(n), design="uis", uniform=True)
+        graph = gnm(distinct + 1, 2 * distinct, rng=0)
+        partition = CategoryPartition.single_category(graph.num_nodes)
+        obs = observe_induced(graph, partition, sample)
+        estimate = estimate_population_size_coupon(obs)
+        assert estimate == pytest.approx(population, rel=0.05)
+
+    def test_weighted_design_rejected(self, setup):
+        graph, partition = setup
+        sample = RandomWalkSampler(graph).sample(1000, rng=2)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError, match="uniform"):
+            estimate_population_size_coupon(obs)
+
+    def test_no_repeats_rejected(self, setup):
+        graph, partition = setup
+        nodes = np.arange(50, dtype=np.int64)
+        sample = NodeSample(nodes, np.ones(50), design="uis", uniform=True)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError, match="repeat"):
+            estimate_population_size_coupon(obs)
+
+    def test_tiny_sample_rejected(self, setup):
+        graph, partition = setup
+        sample = NodeSample(np.array([0]), np.ones(1), uniform=True)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError):
+            estimate_population_size_coupon(obs)
+
+    def test_agrees_with_collision_estimator(self, setup):
+        from repro.core import estimate_population_size
+
+        graph, partition = setup
+        sample = UniformIndependenceSampler(graph).sample(6000, rng=3)
+        obs = observe_induced(graph, partition, sample)
+        coupon = estimate_population_size_coupon(obs)
+        collision = estimate_population_size(obs)
+        assert abs(coupon - collision) / collision < 0.25

@@ -1,0 +1,130 @@
+"""Tests for the star-weight delta-method variance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_weights_star, star_weight_std
+from repro.exceptions import EstimationError
+from repro.generators import planted_category_graph
+from repro.graph import true_category_graph
+from repro.sampling import (
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+    observe_star,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, partition = planted_category_graph(k=10, scale=60, rng=0)
+    truth = true_category_graph(graph, partition)
+    # Pick a well-populated pair (the two largest categories).
+    order = np.argsort(-truth.sizes)
+    pair = (int(order[0]), int(order[1]))
+    return graph, partition, truth, pair
+
+
+class TestStarWeightStd:
+    def test_matches_replicate_spread(self, setup):
+        graph, partition, truth, pair = setup
+        estimates = []
+        for seed in range(30):
+            sample = UniformIndependenceSampler(graph).sample(3000, rng=seed)
+            obs = observe_star(graph, partition, sample)
+            w = estimate_weights_star(obs, truth.sizes)
+            estimates.append(w[pair])
+        empirical_std = float(np.std(estimates, ddof=1))
+        sample = UniformIndependenceSampler(graph).sample(3000, rng=99)
+        obs = observe_star(graph, partition, sample)
+        analytic = star_weight_std(obs, truth.sizes, pair)
+        assert 0.5 < analytic / empirical_std < 2.0
+
+    def test_shrinks_with_sample_size(self, setup):
+        graph, partition, truth, pair = setup
+        small = observe_star(
+            graph, partition,
+            UniformIndependenceSampler(graph).sample(500, rng=1),
+        )
+        large = observe_star(
+            graph, partition,
+            UniformIndependenceSampler(graph).sample(20_000, rng=1),
+        )
+        assert star_weight_std(large, truth.sizes, pair) < star_weight_std(
+            small, truth.sizes, pair
+        )
+
+    def test_works_under_rw_weights(self, setup):
+        graph, partition, truth, pair = setup
+        sample = RandomWalkSampler(graph).sample(3000, rng=2)
+        obs = observe_star(graph, partition, sample)
+        value = star_weight_std(obs, truth.sizes, pair)
+        assert np.isfinite(value)
+        assert value > 0
+
+    def test_induced_observation_rejected(self, setup):
+        graph, partition, truth, pair = setup
+        sample = UniformIndependenceSampler(graph).sample(100, rng=3)
+        obs = observe_induced(graph, partition, sample)
+        with pytest.raises(EstimationError, match="StarObservation"):
+            star_weight_std(obs, truth.sizes, pair)
+
+    def test_same_category_pair_rejected(self, setup):
+        graph, partition, truth, _ = setup
+        sample = UniformIndependenceSampler(graph).sample(100, rng=4)
+        obs = observe_star(graph, partition, sample)
+        with pytest.raises(EstimationError, match="pair"):
+            star_weight_std(obs, truth.sizes, (1, 1))
+
+    def test_unsampled_pair_rejected(self, setup):
+        graph, partition, truth, _ = setup
+        # Sample a single node; most category pairs untouched.
+        sample = UniformIndependenceSampler(graph).sample(2, rng=5)
+        obs = observe_star(graph, partition, sample)
+        cats = set(obs.distinct_categories.tolist())
+        missing = [c for c in range(partition.num_categories) if c not in cats]
+        if len(missing) >= 2:
+            with pytest.raises(EstimationError, match="undefined"):
+                star_weight_std(obs, truth.sizes, (missing[0], missing[1]))
+
+    def test_bad_sizes_shape(self, setup):
+        graph, partition, truth, pair = setup
+        sample = UniformIndependenceSampler(graph).sample(100, rng=6)
+        obs = observe_star(graph, partition, sample)
+        with pytest.raises(EstimationError):
+            star_weight_std(obs, np.ones(3), pair)
+
+
+class TestCrossSampleTruthMode:
+    def test_cross_sample_mode_runs(self, setup):
+        from repro.stats import run_nrmse_sweep_from_samples
+
+        graph, partition, truth, pair = setup
+        walks = [
+            RandomWalkSampler(graph).sample(2000, rng=seed) for seed in range(5)
+        ]
+        exact = run_nrmse_sweep_from_samples(
+            graph, partition, walks, (500, 2000), truth_mode="exact"
+        )
+        paper_style = run_nrmse_sweep_from_samples(
+            graph, partition, walks, (500, 2000), truth_mode="cross-sample"
+        )
+        # At full length, the cross-sample NRMSE measures only spread, so
+        # it is not larger than the exact-truth NRMSE on average.
+        kind = "star"
+        exact_med = exact.median_size_nrmse(kind)[-1]
+        cross_med = paper_style.median_size_nrmse(kind)[-1]
+        assert np.isfinite(cross_med)
+        assert cross_med <= exact_med * 1.5
+
+    def test_unknown_mode_rejected(self, setup):
+        from repro.stats import run_nrmse_sweep_from_samples
+
+        graph, partition, truth, pair = setup
+        walks = [RandomWalkSampler(graph).sample(100, rng=0)]
+        with pytest.raises(EstimationError, match="truth_mode"):
+            run_nrmse_sweep_from_samples(
+                graph, partition, walks, (50,), truth_mode="banana"
+            )

@@ -1,0 +1,118 @@
+"""Tests for the delta-method variance estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bootstrap_estimate,
+    estimate_sizes_induced,
+    induced_size_std,
+    ratio_variance,
+)
+from repro.exceptions import EstimationError
+from repro.generators import gnm
+from repro.graph import CategoryPartition
+from repro.sampling import (
+    RandomWalkSampler,
+    UniformIndependenceSampler,
+    observe_induced,
+)
+
+
+class TestRatioVariance:
+    def test_constant_ratio_zero_variance(self):
+        z = np.ones(50)
+        y = 0.3 * z
+        assert ratio_variance(y, z) == pytest.approx(0.0)
+
+    def test_matches_monte_carlo_for_mean(self):
+        """Denominator == 1 degenerates to the variance of a mean."""
+        rng = np.random.default_rng(0)
+        y = rng.normal(2.0, 1.0, size=2000)
+        z = np.ones(2000)
+        expected = y.var(ddof=1) / 2000
+        assert ratio_variance(y, z) == pytest.approx(expected, rel=1e-9)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        y = rng.random(100)
+        z = rng.random(100) + 0.5
+        a = ratio_variance(y, z)
+        b = ratio_variance(5 * y, 5 * z)
+        assert a == pytest.approx(b)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(EstimationError):
+            ratio_variance(np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            ratio_variance(np.ones(3), np.ones(4))
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(EstimationError):
+            ratio_variance(np.ones(3), np.zeros(3))
+
+
+class TestInducedSizeStd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = gnm(800, 4000, rng=0)
+        partition = CategoryPartition(np.arange(800) % 4)
+        return graph, partition
+
+    def test_agrees_with_bootstrap_uis(self, setup):
+        graph, partition = setup
+        sample = UniformIndependenceSampler(graph).sample(1500, rng=1)
+        obs = observe_induced(graph, partition, sample)
+        analytic = induced_size_std(obs, graph.num_nodes)
+        boot = bootstrap_estimate(
+            obs,
+            lambda o: estimate_sizes_induced(o, graph.num_nodes),
+            replications=400,
+            rng=2,
+        )
+        # Delta method and bootstrap should agree within ~35%.
+        ratio = analytic / boot.std
+        assert np.all(ratio > 0.6)
+        assert np.all(ratio < 1.6)
+
+    def test_agrees_with_replicate_spread_rw(self, setup):
+        """Cross-check against the spread over independent walks."""
+        graph, partition = setup
+        estimates = []
+        for seed in range(40):
+            sample = RandomWalkSampler(graph).sample(1500, rng=seed)
+            obs = observe_induced(graph, partition, sample)
+            estimates.append(estimate_sizes_induced(obs, graph.num_nodes))
+        empirical_std = np.std(np.stack(estimates), axis=0, ddof=1)
+        sample = RandomWalkSampler(graph).sample(1500, rng=100)
+        obs = observe_induced(graph, partition, sample)
+        analytic = induced_size_std(obs, graph.num_nodes)
+        # i.i.d. approximation on a walk: right order of magnitude.
+        ratio = analytic / empirical_std
+        assert np.all(ratio > 0.4)
+        assert np.all(ratio < 2.5)
+
+    def test_shrinks_with_sample_size(self, setup):
+        graph, partition = setup
+        small = observe_induced(
+            graph, partition, UniformIndependenceSampler(graph).sample(300, rng=3)
+        )
+        large = observe_induced(
+            graph, partition, UniformIndependenceSampler(graph).sample(10_000, rng=3)
+        )
+        assert np.all(
+            induced_size_std(large, graph.num_nodes)
+            < induced_size_std(small, graph.num_nodes)
+        )
+
+    def test_bad_population_rejected(self, setup):
+        graph, partition = setup
+        obs = observe_induced(
+            graph, partition, UniformIndependenceSampler(graph).sample(10, rng=0)
+        )
+        with pytest.raises(EstimationError):
+            induced_size_std(obs, -1)

@@ -1,0 +1,92 @@
+"""Tests for the graph cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import GraphCache, default_cache
+from repro.generators import gnm
+from repro.graph import CategoryPartition
+
+
+def _builder_factory(counter):
+    def build():
+        counter["calls"] += 1
+        graph = gnm(50, 100, rng=0)
+        partition = CategoryPartition(np.arange(50) % 3)
+        return graph, partition
+
+    return build
+
+
+class TestGraphCache:
+    def test_build_then_hit(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        counter = {"calls": 0}
+        build = _builder_factory(counter)
+        g1, p1 = cache.get_or_build("test", {"n": 50}, build)
+        g2, p2 = cache.get_or_build("test", {"n": 50}, build)
+        assert counter["calls"] == 1  # second call served from disk
+        assert g1 == g2
+        assert p1 == p2
+
+    def test_different_params_different_entries(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        counter = {"calls": 0}
+        build = _builder_factory(counter)
+        cache.get_or_build("test", {"n": 50}, build)
+        cache.get_or_build("test", {"n": 51}, build)
+        assert counter["calls"] == 2
+
+    def test_different_kind_different_entries(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        counter = {"calls": 0}
+        build = _builder_factory(counter)
+        cache.get_or_build("a", {"n": 1}, build)
+        cache.get_or_build("b", {"n": 1}, build)
+        assert counter["calls"] == 2
+
+    def test_disabled_cache_always_builds(self):
+        cache = GraphCache(None)
+        assert not cache.enabled
+        counter = {"calls": 0}
+        build = _builder_factory(counter)
+        cache.get_or_build("test", {}, build)
+        cache.get_or_build("test", {}, build)
+        assert counter["calls"] == 2
+
+    def test_partition_roundtrip_none(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        graph = gnm(20, 40, rng=1)
+        out_graph, out_partition = cache.get_or_build(
+            "no-partition", {}, lambda: (graph, None)
+        )
+        again, partition_again = cache.get_or_build(
+            "no-partition", {}, lambda: (graph, None)
+        )
+        assert again == graph
+        assert partition_again is None
+
+    def test_clear(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        counter = {"calls": 0}
+        build = _builder_factory(counter)
+        cache.get_or_build("test", {}, build)
+        assert cache.clear() == 1
+        cache.get_or_build("test", {}, build)
+        assert counter["calls"] == 2
+
+    def test_metadata_written(self, tmp_path):
+        cache = GraphCache(tmp_path)
+        counter = {"calls": 0}
+        cache.get_or_build("meta", {"x": 7}, _builder_factory(counter))
+        metas = list(tmp_path.glob("*.json"))
+        assert len(metas) == 1
+        assert '"x": 7' in metas[0].read_text()
+
+    def test_default_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache().enabled
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert not default_cache().enabled

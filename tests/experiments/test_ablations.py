@@ -1,0 +1,61 @@
+"""Tests for the ablation experiment driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_ablations, run_experiment
+from tests.experiments.test_experiments import TINY
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_ablations(preset=TINY, rng=0)
+
+    def test_all_five_produced(self, results):
+        assert set(results) == {
+            "ablation_hh",
+            "ablation_footnote4",
+            "ablation_plugin",
+            "ablation_thinning",
+            "ablation_bfs",
+        }
+
+    def test_hh_inflation_recorded(self, results):
+        assert results["ablation_hh"].notes["dense_block_inflation"] > 1.4
+
+    def test_footnote4_global_covers_more(self, results):
+        notes = results["ablation_footnote4"].notes
+        assert notes["finite_global"] >= notes["finite_per_category"]
+
+    def test_plugin_table_rows(self, results):
+        headers, rows = results["ablation_plugin"].table
+        plugins = {row[0] for row in rows}
+        assert plugins == {"true", "star", "induced"}
+
+    def test_thinning_acf_decreases(self, results):
+        headers, rows = results["ablation_thinning"].table
+        acfs = [abs(row[2]) for row in rows]
+        assert acfs[-1] < acfs[0] + 0.05  # thinning never makes it much worse
+
+    def test_bfs_bias_factor(self, results):
+        headers, rows = results["ablation_bfs"].table
+        assert rows[0][2] > 1.2
+
+    def test_subset_selection(self):
+        only = run_ablations(which=("bfs",), preset=TINY, rng=0)
+        assert set(only) == {"ablation_bfs"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            run_ablations(which=("nonexistent",), preset=TINY)
+
+    def test_registry_dispatch(self):
+        results = run_experiment("ablations", preset=TINY, rng=0)
+        assert "ablation_hh" in results
+
+    def test_renders(self, results):
+        for result in results.values():
+            assert result.experiment_id in result.render()

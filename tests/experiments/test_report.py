@@ -1,0 +1,44 @@
+"""Tests for the full-report generator and the report CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import generate_report
+from tests.experiments.test_experiments import TINY
+
+
+class TestGenerateReport:
+    def test_writes_report_and_data(self, tmp_path):
+        path = generate_report(
+            tmp_path, preset=TINY, rng=0, experiments=("table1", "table2")
+        )
+        assert path.name == "REPORT.md"
+        text = path.read_text()
+        assert "## table1" in text
+        assert "## table2" in text
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_figures_save_series(self, tmp_path):
+        generate_report(tmp_path, preset=TINY, rng=0, experiments=("fig5",))
+        assert (tmp_path / "fig5a.csv").exists()
+        assert (tmp_path / "fig5b.json").exists()
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_report(
+                tmp_path, preset=TINY, experiments=("nonexistent",)
+            )
+
+
+class TestReportCli:
+    def test_parser_accepts_report(self, tmp_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["report", "--out", str(tmp_path), "--seed", "2"]
+        )
+        assert args.command == "report"
+        assert args.seed == 2

@@ -1,0 +1,192 @@
+"""Tests for the synthetic Facebook world, crawls, and geosocial graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, SamplingError
+from repro.facebook import (
+    FacebookModelConfig,
+    build_facebook_world,
+    category_sample_fraction,
+    country_partition,
+    distance_weight_correlation,
+    estimate_college_graph,
+    estimate_country_graph,
+    estimate_north_america_graph,
+    north_america_partition,
+    simulate_crawl_datasets,
+)
+from repro.graph import is_connected, true_category_graph
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_facebook_world(FacebookModelConfig(scale=12), rng=0)
+
+
+@pytest.fixture(scope="module")
+def crawls(world):
+    return simulate_crawl_datasets(
+        world,
+        samples_per_walk=1200,
+        num_walks_2009=4,
+        num_walks_2010=4,
+        rng=1,
+    )
+
+
+class TestWorld:
+    def test_connected(self, world):
+        assert is_connected(world.graph)
+
+    def test_declared_fraction_close_to_table2(self, world):
+        sizes = world.regions_2009.sizes()
+        declared = 1 - sizes[world.undeclared_index] / world.graph.num_nodes
+        assert abs(declared - 0.34) < 0.03
+
+    def test_college_fraction_close_to_table2(self, world):
+        sizes = world.colleges_2010.sizes()
+        members = 1 - sizes[world.none_college_index] / world.graph.num_nodes
+        assert abs(members - 0.035) < 0.01
+
+    def test_college_sizes_heavy_tailed(self, world):
+        sizes = np.sort(world.colleges_2010.sizes()[:-1])[::-1]
+        sizes = sizes[sizes > 0]
+        assert sizes[0] > 4 * np.median(sizes)
+
+    def test_geography_in_category_graph(self, world):
+        """Same-country region pairs must beat cross-continent pairs."""
+        merged = country_partition(world)
+        truth = true_category_graph(world.graph, merged)
+        us, ca = merged.index_of("US"), merged.index_of("CA")
+        jp = merged.index_of("JP")
+        assert truth.weight(us, ca) > truth.weight(us, jp)
+
+    def test_colleges_are_communities(self, world):
+        """Intra-college density far above the global average."""
+        from repro.graph import cut_matrix
+
+        cuts = cut_matrix(world.graph, world.colleges_2010)
+        sizes = world.colleges_2010.sizes()
+        biggest = int(np.argmax(sizes[:-1]))
+        size = sizes[biggest]
+        intra_density = cuts[biggest, biggest] / (size * (size - 1) / 2)
+        global_density = world.graph.num_edges / (
+            world.graph.num_nodes * (world.graph.num_nodes - 1) / 2
+        )
+        assert intra_density > 20 * global_density
+
+    def test_scaling(self):
+        small = build_facebook_world(FacebookModelConfig(scale=30), rng=0)
+        assert small.graph.num_nodes >= 1000
+        assert small.regions_2009.num_nodes == small.graph.num_nodes
+
+    def test_reproducible(self):
+        a = build_facebook_world(FacebookModelConfig(scale=30), rng=5)
+        b = build_facebook_world(FacebookModelConfig(scale=30), rng=5)
+        assert a.graph == b.graph
+        assert np.array_equal(a.regions_2009.labels, b.regions_2009.labels)
+
+
+class TestCrawls:
+    def test_all_five_datasets(self, crawls):
+        assert set(crawls) == {"MHRW09", "RW09", "UIS09", "RW10", "S-WRW10"}
+
+    def test_walk_counts(self, crawls):
+        assert crawls["RW09"].num_walks == 4
+        assert crawls["S-WRW10"].num_walks == 4
+
+    def test_uis_shorter_as_in_table2(self, crawls):
+        assert crawls["UIS09"].samples_per_walk < crawls["RW09"].samples_per_walk
+
+    def test_swrw_oversamples_colleges(self, world, crawls):
+        rw_frac = category_sample_fraction(world, crawls["RW10"])
+        swrw_frac = category_sample_fraction(world, crawls["S-WRW10"])
+        assert swrw_frac > 5 * rw_frac
+        assert swrw_frac > 0.5
+
+    def test_2009_fraction_near_declared_share(self, world, crawls):
+        frac = category_sample_fraction(world, crawls["UIS09"])
+        assert abs(frac - 0.34) < 0.06
+
+    def test_combined_concatenates(self, crawls):
+        dataset = crawls["RW09"]
+        combined = dataset.combined()
+        assert combined.size == dataset.num_walks * dataset.samples_per_walk
+
+    def test_subset_generation(self, world):
+        only = simulate_crawl_datasets(
+            world, samples_per_walk=100, num_walks_2009=2, rng=0,
+            include=("RW09",),
+        )
+        assert set(only) == {"RW09"}
+
+    def test_bad_length_rejected(self, world):
+        with pytest.raises(SamplingError):
+            simulate_crawl_datasets(world, samples_per_walk=5)
+
+
+class TestGeosocial:
+    def test_country_partition_covers_all(self, world):
+        merged = country_partition(world)
+        assert merged.num_nodes == world.graph.num_nodes
+        assert "Undeclared" in merged.names
+
+    def test_north_america_partition(self, world):
+        merged = north_america_partition(world)
+        assert "elsewhere" in merged.names
+        na = [n for n in merged.names if n.startswith(("US.", "CA."))]
+        assert len(na) == merged.num_categories - 1
+
+    def test_country_graph_estimation(self, world, crawls):
+        estimate = estimate_country_graph(world, crawls, max_walks=2)
+        truth = true_category_graph(world.graph, country_partition(world))
+        us, ca = truth.names.index("US"), truth.names.index("CA")
+        est = estimate.weights[us, ca]
+        assert np.isfinite(est)
+        assert 0.2 < est / truth.weights[us, ca] < 5.0
+
+    def test_north_america_graph_estimation(self, world, crawls):
+        estimate = estimate_north_america_graph(world, crawls, max_walks=2)
+        assert estimate.num_categories >= 3
+        assert estimate.num_edges() > 0
+
+    def test_college_graph_estimation(self, world, crawls):
+        estimate = estimate_college_graph(world, crawls, max_walks=2)
+        assert estimate.num_categories == world.colleges_2010.num_categories
+
+    def test_college_graph_needs_swrw(self, world, crawls):
+        without = {k: v for k, v in crawls.items() if k != "S-WRW10"}
+        with pytest.raises(EstimationError):
+            estimate_college_graph(world, without)
+
+    def test_country_graph_needs_2009_data(self, world, crawls):
+        without = {k: v for k, v in crawls.items() if "09" not in k}
+        with pytest.raises(EstimationError):
+            estimate_country_graph(world, without)
+
+    def test_distance_correlation_negative_on_truth(self, world):
+        merged = country_partition(world)
+        truth = true_category_graph(world.graph, merged)
+        positions = np.full(truth.num_categories, np.nan)
+        first_pos: dict[str, float] = {}
+        for r, country in enumerate(world.region_country):
+            code = world.country_names[country]
+            first_pos.setdefault(code, float(world.region_position[r]))
+        for i, name in enumerate(truth.names):
+            if name in first_pos:
+                positions[i] = first_pos[name]
+        corr = distance_weight_correlation(world, truth, positions)
+        assert corr < -0.15  # geography suppresses distant ties
+
+    def test_distance_correlation_needs_edges(self, world):
+        from repro.graph import CategoryGraph
+
+        tiny = CategoryGraph(
+            np.array([1.0, 1.0]),
+            np.array([[np.nan, 0.5], [0.5, np.nan]]),
+        )
+        with pytest.raises(EstimationError):
+            distance_weight_correlation(world, tiny, np.array([0.0, 1.0]))

@@ -1,0 +1,150 @@
+"""Tests for ER, BA and configuration-model generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.generators import (
+    barabasi_albert_graph,
+    configuration_model_graph,
+    gnm,
+    gnp,
+    power_law_degree_sequence,
+    random_cross_edges,
+)
+
+
+class TestGnp:
+    def test_edge_count_close_to_expectation(self):
+        n, p = 300, 0.05
+        g = gnp(n, p, rng=0)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_p_zero(self):
+        assert gnp(50, 0.0, rng=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = gnp(10, 1.0, rng=0)
+        assert g.num_edges == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(GenerationError):
+            gnp(10, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(GenerationError):
+            gnp(-1, 0.5)
+
+    def test_tiny_n(self):
+        assert gnp(1, 0.9, rng=0).num_edges == 0
+
+
+class TestGnm:
+    @pytest.mark.parametrize("m", [0, 1, 100, 500])
+    def test_exact_edge_count(self, m):
+        g = gnm(100, m, rng=0)
+        assert g.num_edges == m
+
+    def test_dense_regime(self):
+        g = gnm(20, 150, rng=0)  # 150 of 190 pairs
+        assert g.num_edges == 150
+
+    def test_complete(self):
+        assert gnm(10, 45, rng=0).num_edges == 45
+
+    def test_m_too_large(self):
+        with pytest.raises(GenerationError):
+            gnm(10, 46)
+
+    def test_reproducible(self):
+        assert gnm(50, 100, rng=5) == gnm(50, 100, rng=5)
+
+
+class TestRandomCrossEdges:
+    def test_endpoints_in_groups(self):
+        a = np.arange(0, 10)
+        b = np.arange(10, 20)
+        edges = random_cross_edges(a, b, 15, rng=0)
+        assert len(edges) == 15
+        for u, v in edges:
+            assert (u in a and v in b) or (u in b and v in a)
+
+    def test_distinct(self):
+        edges = random_cross_edges(np.arange(5), np.arange(5, 10), 20, rng=0)
+        keys = {tuple(e) for e in map(tuple, edges)}
+        assert len(keys) == 20
+
+    def test_forbid_respected(self):
+        forbid = {(0, 5)}
+        edges = random_cross_edges(
+            np.array([0]), np.array([5, 6]), 1, rng=0, forbid=forbid
+        )
+        assert tuple(edges[0]) == (0, 6)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(GenerationError):
+            random_cross_edges(np.array([]), np.array([1]), 1)
+
+    def test_impossible_count_rejected(self):
+        with pytest.raises(GenerationError):
+            random_cross_edges(np.array([0]), np.array([1]), 5, rng=0)
+
+
+class TestBarabasiAlbert:
+    def test_basic_shape(self):
+        g = barabasi_albert_graph(200, 3, rng=0)
+        assert g.num_nodes == 200
+        # star seed has m edges; each of the n-m-1 arrivals adds m edges
+        assert g.num_edges == 3 + (200 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(2000, 2, rng=0)
+        degs = g.degrees()
+        assert degs.max() > 10 * np.median(degs)
+
+    def test_invalid_m(self):
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestConfigurationModel:
+    def test_power_law_sequence_mean(self):
+        seq = power_law_degree_sequence(5000, 2.5, mean_degree=10.0, rng=0)
+        assert abs(seq.mean() - 10.0) / 10.0 < 0.15
+        assert seq.sum() % 2 == 0
+        assert seq.min() >= 1
+
+    def test_power_law_skew(self):
+        seq = power_law_degree_sequence(5000, 2.2, mean_degree=10.0, rng=0)
+        assert seq.max() > 5 * seq.mean()
+
+    def test_power_law_invalid(self):
+        with pytest.raises(GenerationError):
+            power_law_degree_sequence(10, 0.5, 5.0)
+        with pytest.raises(GenerationError):
+            power_law_degree_sequence(0, 2.5, 5.0)
+        with pytest.raises(GenerationError):
+            power_law_degree_sequence(10, 2.5, 0.5)
+
+    def test_graph_from_sequence(self):
+        seq = power_law_degree_sequence(2000, 2.5, mean_degree=8.0, rng=1)
+        g = configuration_model_graph(seq, rng=1)
+        assert g.num_nodes == 2000
+        # Erased model loses a few percent of edges to defects.
+        assert g.num_edges > 0.85 * seq.sum() / 2
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(GenerationError, match="even"):
+            configuration_model_graph(np.array([1, 1, 1]))
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(GenerationError):
+            configuration_model_graph(np.array([4, 2, 1, 1]))
+
+    def test_empty(self):
+        assert configuration_model_graph(np.array([], dtype=np.int64)).num_nodes == 0

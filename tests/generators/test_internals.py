@@ -1,0 +1,66 @@
+"""Tests for generator internals (pair unranking, scaling helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.er import _unrank_pairs
+from repro.generators.planted import PlantedModelConfig, _unique_names
+
+
+class TestUnrankPairs:
+    @pytest.mark.parametrize("n", [2, 3, 7, 20])
+    def test_exhaustive_small(self, n):
+        expected = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        flat = np.arange(len(expected), dtype=np.int64)
+        rows, cols = _unrank_pairs(flat, n)
+        assert list(zip(rows.tolist(), cols.tolist())) == expected
+
+    @given(
+        st.integers(min_value=2, max_value=5000),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, n, raw_rank):
+        total = n * (n - 1) // 2
+        rank = raw_rank % total
+        rows, cols = _unrank_pairs(np.array([rank], dtype=np.int64), n)
+        i, j = int(rows[0]), int(cols[0])
+        assert 0 <= i < j < n
+        # Re-rank: pairs before row i, plus offset within the row.
+        recomputed = i * n - i * (i + 1) // 2 + (j - i - 1)
+        assert recomputed == rank
+
+    def test_large_n_no_float_error(self):
+        n = 500_000
+        total = n * (n - 1) // 2
+        ranks = np.array([0, total // 2, total - 1], dtype=np.int64)
+        rows, cols = _unrank_pairs(ranks, n)
+        assert np.all(rows < cols)
+        assert cols[-1] == n - 1
+        assert rows[-1] == n - 2
+
+
+class TestPlantedHelpers:
+    def test_unique_names_no_duplicates(self):
+        names = _unique_names((50, 50, 50, 100))
+        assert len(set(names)) == 4
+        assert names[0] == "50"
+        assert names[1] == "50.1"
+
+    def test_effective_sizes_parity(self):
+        # Odd k with odd scaled size must be bumped to keep n*k even.
+        config = PlantedModelConfig(sizes=(51,), k=5, scale=1)
+        sizes = config.effective_sizes()
+        assert (sizes[0] * 5) % 2 == 0
+
+    def test_effective_sizes_clamp(self):
+        config = PlantedModelConfig(sizes=(50,), k=20, scale=1000)
+        assert config.effective_sizes()[0] >= 21
+
+    def test_num_nodes_consistent(self):
+        config = PlantedModelConfig(scale=10)
+        assert config.num_nodes() == sum(config.effective_sizes())

@@ -1,0 +1,60 @@
+"""Tests for the random k-regular generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.generators import random_regular_graph
+from repro.graph import is_connected
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,k", [(10, 3), (20, 4), (51, 6), (100, 49)])
+    def test_all_degrees_equal_k(self, n, k):
+        g = random_regular_graph(n, k, rng=0)
+        assert set(g.degrees().tolist()) == {k}
+        assert g.num_edges == n * k // 2
+
+    def test_zero_degree(self):
+        g = random_regular_graph(5, 0, rng=0)
+        assert g.num_edges == 0
+
+    def test_complete_graph_case(self):
+        g = random_regular_graph(8, 7, rng=0)
+        assert g.num_edges == 28
+
+    def test_odd_nk_rejected(self):
+        with pytest.raises(GenerationError, match="even"):
+            random_regular_graph(5, 3, rng=0)
+
+    def test_k_geq_n_rejected(self):
+        with pytest.raises(GenerationError):
+            random_regular_graph(5, 5, rng=0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(GenerationError):
+            random_regular_graph(5, -1, rng=0)
+
+    def test_different_seeds_differ(self):
+        a = random_regular_graph(30, 4, rng=1)
+        b = random_regular_graph(30, 4, rng=2)
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        a = random_regular_graph(30, 4, rng=7)
+        b = random_regular_graph(30, 4, rng=7)
+        assert a == b
+
+    def test_moderate_k_usually_connected(self):
+        # Random k-regular graphs with k >= 3 are connected w.h.p.
+        g = random_regular_graph(200, 5, rng=3)
+        assert is_connected(g)
+
+    def test_simple_no_self_loops(self):
+        g = random_regular_graph(40, 6, rng=4)
+        for v in range(40):
+            nbrs = g.neighbors(v)
+            assert v not in nbrs
+            assert len(np.unique(nbrs)) == len(nbrs)

@@ -1,0 +1,134 @@
+"""Unit tests for the CSR graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_zero_node_graph(self):
+        g = Graph.empty(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.mean_degree() == 0.0
+
+    def test_duplicate_edges_merged(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph.from_edges(3, [(0, 0)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(-1, 0)])
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_asymmetric_csr_rejected(self):
+        # arc 0->1 without 1->0
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(GraphError):
+            Graph(indptr, indices)
+
+    def test_odd_arc_count_rejected(self):
+        with pytest.raises(GraphError, match="even"):
+            Graph(np.array([0, 1, 1, 1]), np.array([1]))
+
+
+class TestAccessors:
+    def test_degrees(self, triangle_pair):
+        assert list(triangle_pair.degrees()) == [3, 2, 2, 3, 2, 2]
+
+    def test_degree_single(self, triangle_pair):
+        assert triangle_pair.degree(0) == 3
+        assert triangle_pair.degree(5) == 2
+
+    def test_degree_out_of_range(self, triangle_pair):
+        with pytest.raises(GraphError):
+            triangle_pair.degree(6)
+        with pytest.raises(GraphError):
+            triangle_pair.degree(-1)
+
+    def test_neighbors_sorted(self, triangle_pair):
+        assert list(triangle_pair.neighbors(0)) == [1, 2, 3]
+
+    def test_neighbors_readonly(self, triangle_pair):
+        nbrs = triangle_pair.neighbors(0)
+        with pytest.raises(ValueError):
+            nbrs[0] = 99
+
+    def test_has_edge(self, triangle_pair):
+        assert triangle_pair.has_edge(0, 1)
+        assert triangle_pair.has_edge(1, 0)
+        assert triangle_pair.has_edge(0, 3)
+        assert not triangle_pair.has_edge(0, 4)
+        assert not triangle_pair.has_edge(0, 0)
+
+    def test_volume_total_is_twice_edges(self, triangle_pair):
+        assert triangle_pair.volume() == 2 * triangle_pair.num_edges
+
+    def test_volume_subset(self, triangle_pair):
+        assert triangle_pair.volume(np.array([0, 1])) == 5
+
+    def test_volume_bad_nodes(self, triangle_pair):
+        with pytest.raises(GraphError):
+            triangle_pair.volume(np.array([99]))
+
+    def test_mean_degree(self, triangle_pair):
+        assert triangle_pair.mean_degree() == pytest.approx(14 / 6)
+
+
+class TestIteration:
+    def test_edges_iterator_matches_edge_array(self, triangle_pair):
+        from_iter = sorted(triangle_pair.edges())
+        from_array = sorted(map(tuple, triangle_pair.edge_array()))
+        assert from_iter == from_array
+
+    def test_edge_array_canonical_order(self, triangle_pair):
+        arr = triangle_pair.edge_array()
+        assert np.all(arr[:, 0] < arr[:, 1])
+        assert len(arr) == triangle_pair.num_edges
+
+    def test_edges_of_empty_graph(self):
+        assert list(Graph.empty(3).edges()) == []
+        assert Graph.empty(3).edge_array().shape == (0, 2)
+
+
+class TestDunder:
+    def test_len(self, triangle_pair):
+        assert len(triangle_pair) == 6
+
+    def test_eq_and_hash(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(1, 2), (0, 1)])
+        c = Graph.from_edges(3, [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a graph"
+
+    def test_repr(self, triangle_pair):
+        assert "num_nodes=6" in repr(triangle_pair)
+        assert "num_edges=7" in repr(triangle_pair)

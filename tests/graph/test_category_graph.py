@@ -1,0 +1,135 @@
+"""Unit tests for the category graph (ground truth, Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.graph import (
+    CategoryGraph,
+    CategoryPartition,
+    cut_matrix,
+    true_category_graph,
+)
+
+
+class TestTrueCategoryGraph:
+    def test_figure1_weights(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        assert cg.weight("white", "black") == pytest.approx(3 / 9)
+        assert cg.weight("white", "gray") == pytest.approx(2 / 6)
+        assert cg.weight("gray", "black") == pytest.approx(1 / 6)
+
+    def test_sizes(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        assert cg.size("white") == 3
+        assert cg.size("gray") == 2
+        assert cg.size("black") == 3
+
+    def test_cuts_recorded(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        w_idx = partition.index_of("white")
+        b_idx = partition.index_of("black")
+        assert cg.cuts[w_idx, b_idx] == 3
+
+    def test_diagonal_is_nan(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        assert np.all(np.isnan(np.diag(cg.weights)))
+
+    def test_self_weight_query_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        with pytest.raises(PartitionError, match="self-loops"):
+            cg.weight("white", "white")
+
+    def test_no_cross_edges_means_weight_zero(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        p = CategoryPartition(np.array([0, 0, 1, 1]))
+        cg = true_category_graph(g, p)
+        assert cg.weight(0, 1) == 0.0
+        assert not cg.has_edge(0, 1)
+        assert cg.num_edges() == 0
+
+    def test_mismatched_partition_rejected(self, triangle_pair):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            true_category_graph(triangle_pair, p)
+
+    def test_empty_category_weight_is_nan(self, triangle_pair):
+        p = CategoryPartition(
+            np.array([0, 0, 0, 1, 1, 1]), num_categories=3
+        )
+        cg = true_category_graph(triangle_pair, p)
+        assert np.isnan(cg.weight(0, 2))
+
+
+class TestCutMatrix:
+    def test_triangle_pair(self, triangle_pair, triangle_pair_partition):
+        cuts = cut_matrix(triangle_pair, triangle_pair_partition)
+        assert cuts[0, 1] == 1  # the single bridge
+        assert cuts[1, 0] == 1
+        assert cuts[0, 0] == 3  # intra-left triangle
+        assert cuts[1, 1] == 3
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        cuts = cut_matrix(Graph.empty(3), CategoryPartition(np.array([0, 1, 1])))
+        assert np.array_equal(cuts, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestCategoryGraphContainer:
+    def _simple(self) -> CategoryGraph:
+        w = np.array([[np.nan, 0.5, 0.0], [0.5, np.nan, 0.25], [0.0, 0.25, np.nan]])
+        return CategoryGraph(np.array([2.0, 3.0, 4.0]), w, names=("a", "b", "c"))
+
+    def test_edges_iteration_skips_zero(self):
+        cg = self._simple()
+        edges = list(cg.edges())
+        assert (0, 1, 0.5) in edges
+        assert (1, 2, 0.25) in edges
+        assert len(edges) == 2
+        assert cg.num_edges() == 2
+
+    def test_top_edges(self):
+        cg = self._simple()
+        top = cg.top_edges(1)
+        assert top == [("a", "b", 0.5)]
+
+    def test_top_edges_k_larger_than_edges(self):
+        cg = self._simple()
+        assert len(cg.top_edges(10)) == 2
+
+    def test_resolve_by_name_and_index(self):
+        cg = self._simple()
+        assert cg.weight("a", "b") == cg.weight(0, 1)
+        assert cg.size("c") == 4.0
+
+    def test_unknown_name_rejected(self):
+        cg = self._simple()
+        with pytest.raises(PartitionError):
+            cg.weight("a", "zzz")
+
+    def test_bad_index_rejected(self):
+        cg = self._simple()
+        with pytest.raises(PartitionError):
+            cg.size(99)
+
+    def test_asymmetric_weights_rejected(self):
+        w = np.array([[np.nan, 0.5], [0.4, np.nan]])
+        with pytest.raises(PartitionError, match="symmetric"):
+            CategoryGraph(np.array([1.0, 1.0]), w)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryGraph(np.array([1.0, 1.0]), np.zeros((3, 3)))
+
+    def test_repr(self):
+        assert "num_categories=3" in repr(self._simple())

@@ -1,0 +1,165 @@
+"""Unit tests for graph I/O and NetworkX conversion."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    CategoryPartition,
+    Graph,
+    category_graph_to_json,
+    from_networkx,
+    load_npz,
+    read_edge_list,
+    read_labels,
+    save_npz,
+    to_networkx,
+    true_category_graph,
+    write_edge_list,
+    write_labels,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, triangle_pair):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle_pair, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded == triangle_pair
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_nodes=5)
+        assert g.num_nodes == 5
+
+    def test_num_nodes_too_small(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, num_nodes=5)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0
+
+
+class TestLabels:
+    def test_roundtrip(self, tmp_path, triangle_pair_partition):
+        path = tmp_path / "labels.txt"
+        write_labels(triangle_pair_partition, path)
+        loaded = read_labels(path, 6)
+        assert np.array_equal(
+            loaded.sizes(), triangle_pair_partition.sizes()
+        )
+        assert set(loaded.names) == set(triangle_pair_partition.names)
+
+    def test_names_with_spaces(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("0 New York\n1 Los Angeles\n")
+        p = read_labels(path, 2)
+        assert "New York" in p.names
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("justonething\n")
+        with pytest.raises(GraphError):
+            read_labels(path, 1)
+
+
+class TestNpz:
+    def test_roundtrip_with_partition(
+        self, tmp_path, triangle_pair, triangle_pair_partition
+    ):
+        path = tmp_path / "bundle.npz"
+        save_npz(path, triangle_pair, triangle_pair_partition)
+        graph, partition = load_npz(path)
+        assert graph == triangle_pair
+        assert partition == triangle_pair_partition
+
+    def test_roundtrip_graph_only(self, tmp_path, triangle_pair):
+        path = tmp_path / "bundle.npz"
+        save_npz(path, triangle_pair)
+        graph, partition = load_npz(path)
+        assert graph == triangle_pair
+        assert partition is None
+
+
+class TestNetworkx:
+    def test_to_networkx(self, triangle_pair, triangle_pair_partition):
+        nxg = to_networkx(triangle_pair, triangle_pair_partition)
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 7
+        assert nxg.nodes[0]["category"] == "left"
+
+    def test_roundtrip(self, triangle_pair, triangle_pair_partition):
+        nxg = to_networkx(triangle_pair, triangle_pair_partition)
+        graph, partition = from_networkx(nxg)
+        assert graph == triangle_pair
+        assert partition is not None
+        assert np.array_equal(partition.labels, triangle_pair_partition.labels)
+
+    def test_from_networkx_without_categories(self):
+        nxg = nx.path_graph(4)
+        graph, partition = from_networkx(nxg)
+        assert graph.num_edges == 3
+        assert partition is None
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = nx.Graph([(0, 0), (0, 1)])
+        graph, _ = from_networkx(nxg)
+        assert graph.num_edges == 1
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_partition_mismatch_rejected(self, triangle_pair):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(GraphError):
+            to_networkx(triangle_pair, p)
+
+    def test_agrees_with_networkx_degree(self, triangle_pair):
+        nxg = to_networkx(triangle_pair)
+        for v in range(triangle_pair.num_nodes):
+            assert nxg.degree[v] == triangle_pair.degree(v)
+
+
+class TestCategoryGraphJson:
+    def test_schema(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        payload = json.loads(category_graph_to_json(cg))
+        assert {n["name"] for n in payload["nodes"]} == {"white", "gray", "black"}
+        assert len(payload["links"]) == 3
+
+    def test_min_weight_filter(self, paper_figure1):
+        graph, partition = paper_figure1
+        cg = true_category_graph(graph, partition)
+        payload = json.loads(category_graph_to_json(cg, min_weight=0.3))
+        assert len(payload["links"]) == 2  # 1/6 edge filtered out

@@ -1,0 +1,98 @@
+"""Unit tests for graph operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    Graph,
+    connected_components,
+    degree_histogram,
+    degree_stats,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+)
+
+
+class TestComponents:
+    def test_connected_graph(self, triangle_pair):
+        assert is_connected(triangle_pair)
+        comp = connected_components(triangle_pair)
+        assert int(comp.max()) == 0
+
+    def test_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len({int(comp[0]), int(comp[2]), int(comp[4])}) == 3
+        assert not is_connected(g)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph.empty(0))
+
+    def test_single_node(self):
+        assert is_connected(Graph.empty(1))
+
+    def test_largest_component(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        sub, ids = largest_component(g)
+        assert sub.num_nodes == 3
+        assert list(ids) == [0, 1, 2]
+        assert sub.num_edges == 2
+
+    def test_largest_component_of_empty(self):
+        sub, ids = largest_component(Graph.empty(0))
+        assert sub.num_nodes == 0
+        assert len(ids) == 0
+
+
+class TestInducedSubgraph:
+    def test_basic(self, triangle_pair):
+        sub = induced_subgraph(triangle_pair, np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3  # the left triangle
+
+    def test_cross_edges_dropped(self, triangle_pair):
+        sub = induced_subgraph(triangle_pair, np.array([0, 4]))
+        assert sub.num_edges == 0
+
+    def test_relabelling_follows_input_order(self, triangle_pair):
+        sub = induced_subgraph(triangle_pair, np.array([3, 0]))
+        # nodes 3 and 0 are adjacent via the bridge; new ids 0 and 1
+        assert sub.has_edge(0, 1)
+
+    def test_duplicate_ids_rejected(self, triangle_pair):
+        with pytest.raises(GraphError, match="unique"):
+            induced_subgraph(triangle_pair, np.array([0, 0]))
+
+    def test_out_of_range_rejected(self, triangle_pair):
+        with pytest.raises(GraphError):
+            induced_subgraph(triangle_pair, np.array([99]))
+
+    def test_empty_selection(self, triangle_pair):
+        sub = induced_subgraph(triangle_pair, np.array([], dtype=np.int64))
+        assert sub.num_nodes == 0
+
+
+class TestDegreeStats:
+    def test_histogram(self, path_graph):
+        hist = degree_histogram(path_graph)
+        assert list(hist) == [0, 2, 3]  # two endpoints, three middles
+
+    def test_histogram_empty(self):
+        assert list(degree_histogram(Graph.empty(0))) == [0]
+
+    def test_stats(self, path_graph):
+        stats = degree_stats(path_graph)
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+        assert stats.mean == pytest.approx(8 / 5)
+        assert "degree mean" in str(stats)
+
+    def test_stats_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_stats(Graph.empty(0))

@@ -1,0 +1,187 @@
+"""Unit tests for CategoryPartition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.graph import CategoryPartition
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = CategoryPartition(np.array([0, 1, 0, 2]))
+        assert p.num_nodes == 4
+        assert p.num_categories == 3
+        assert list(p.sizes()) == [2, 1, 1]
+
+    def test_names(self):
+        p = CategoryPartition(np.array([0, 1]), names=["a", "b"])
+        assert p.names == ("a", "b")
+        assert p.index_of("b") == 1
+
+    def test_default_names(self):
+        p = CategoryPartition(np.array([0, 1]))
+        assert p.names == ("C0", "C1")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PartitionError, match="unique"):
+            CategoryPartition(np.array([0, 1]), names=["a", "a"])
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition(np.array([0, 1]), names=["only-one"])
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition(np.array([0, -1]))
+
+    def test_explicit_num_categories_allows_empty(self):
+        p = CategoryPartition(np.array([0, 0]), num_categories=3)
+        assert p.num_categories == 3
+        assert p.size(2) == 0
+
+    def test_num_categories_too_small_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition(np.array([0, 5]), num_categories=2)
+
+    def test_from_mapping(self):
+        p = CategoryPartition.from_mapping(3, {0: "us", 1: "fr", 2: "us"})
+        assert p.names == ("fr", "us")
+        assert p.category_of(0) == p.index_of("us")
+
+    def test_from_mapping_incomplete_rejected(self):
+        with pytest.raises(PartitionError):
+            CategoryPartition.from_mapping(3, {0: "us", 1: "fr"})
+
+    def test_from_blocks(self):
+        p = CategoryPartition.from_blocks([2, 3])
+        assert list(p.labels) == [0, 0, 1, 1, 1]
+
+    def test_single_category(self):
+        p = CategoryPartition.single_category(4)
+        assert p.num_categories == 1
+        assert p.size(0) == 4
+
+    def test_labels_readonly(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            p.labels[0] = 1
+
+
+class TestQueries:
+    def test_members(self):
+        p = CategoryPartition(np.array([0, 1, 0, 1]))
+        assert list(p.members(0)) == [0, 2]
+        assert list(p.members(1)) == [1, 3]
+
+    def test_members_bad_category(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            p.members(5)
+
+    def test_category_of_bad_node(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            p.category_of(2)
+
+    def test_index_of_unknown_name(self):
+        p = CategoryPartition(np.array([0]), names=["a"])
+        with pytest.raises(PartitionError, match="unknown category"):
+            p.index_of("zzz")
+
+    def test_relative_sizes(self):
+        p = CategoryPartition(np.array([0, 0, 0, 1]))
+        assert p.relative_sizes() == pytest.approx([0.75, 0.25])
+
+    def test_volumes_and_mean_degrees(self, triangle_pair, triangle_pair_partition):
+        vols = triangle_pair_partition.volumes(triangle_pair)
+        assert list(vols) == [7, 7]
+        means = triangle_pair_partition.mean_degrees(triangle_pair)
+        assert means == pytest.approx([7 / 3, 7 / 3])
+
+    def test_mean_degree_empty_category_is_nan(self, triangle_pair):
+        p = CategoryPartition(
+            np.array([0, 0, 0, 0, 0, 0]), num_categories=2
+        )
+        means = p.mean_degrees(triangle_pair)
+        assert np.isnan(means[1])
+
+    def test_volumes_wrong_graph_rejected(self, triangle_pair):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            p.volumes(triangle_pair)
+
+
+class TestTransformations:
+    def test_permute_zero_is_identity(self):
+        p = CategoryPartition(np.arange(10) % 3)
+        assert p.permute_fraction(0.0, rng=0) == CategoryPartition(
+            p.labels, num_categories=3
+        )
+
+    def test_permute_one_reshuffles(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        p = CategoryPartition(labels)
+        permuted = p.permute_fraction(1.0, rng=0)
+        assert not np.array_equal(p.labels, permuted.labels)
+        assert np.array_equal(p.sizes(), permuted.sizes())
+
+    def test_permute_bad_alpha(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            p.permute_fraction(1.5)
+
+    def test_merge_by_name(self):
+        p = CategoryPartition(np.array([0, 1, 2]), names=["ca", "tx", "paris"])
+        merged = p.merge({"usa": ["ca", "tx"], "france": ["paris"]})
+        assert merged.num_categories == 2
+        assert merged.size(merged.index_of("usa")) == 2
+
+    def test_merge_by_index(self):
+        p = CategoryPartition(np.array([0, 1, 2]))
+        merged = p.merge({"x": [0, 2], "y": [1]})
+        assert merged.size(merged.index_of("x")) == 2
+
+    def test_merge_missing_category_rejected(self):
+        p = CategoryPartition(np.array([0, 1, 2]))
+        with pytest.raises(PartitionError, match="not assigned"):
+            p.merge({"x": [0, 1]})
+
+    def test_merge_double_assignment_rejected(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError, match="two groups"):
+            p.merge({"x": [0, 1], "y": [1]})
+
+    def test_keep_top(self):
+        labels = np.array([0] * 5 + [1] * 3 + [2] * 1 + [3] * 1)
+        p = CategoryPartition(labels, names=["big", "mid", "s1", "s2"])
+        top = p.keep_top(2)
+        assert top.num_categories == 3  # big, mid, rest
+        assert top.names == ("big", "mid", "rest")
+        assert top.size(2) == 2
+
+    def test_keep_top_more_than_available(self):
+        p = CategoryPartition(np.array([0, 1]))
+        top = p.keep_top(10)
+        assert top.num_categories == 2
+
+    def test_keep_top_invalid_k(self):
+        p = CategoryPartition(np.array([0, 1]))
+        with pytest.raises(PartitionError):
+            p.keep_top(0)
+
+
+class TestDunder:
+    def test_eq(self):
+        a = CategoryPartition(np.array([0, 1]), names=["a", "b"])
+        b = CategoryPartition(np.array([0, 1]), names=["a", "b"])
+        c = CategoryPartition(np.array([0, 1]), names=["a", "c"])
+        assert a == b
+        assert a != c
+        assert a != 42
+
+    def test_repr(self):
+        p = CategoryPartition(np.array([0, 1, 1]))
+        assert "num_nodes=3" in repr(p)

@@ -1,0 +1,177 @@
+"""Tests for the gravity mixing model (Section 9 follow-up)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.graph import CategoryGraph
+from repro.models import fit_gravity_model, pair_distance_feature
+
+
+def _synthetic_graph(
+    num_categories: int = 12,
+    slope: float = -0.8,
+    noise: float = 0.05,
+    rng: int = 0,
+) -> tuple[CategoryGraph, np.ndarray]:
+    """A category graph whose log-weights follow an exact gravity law."""
+    gen = np.random.default_rng(rng)
+    positions = np.sort(gen.uniform(0, 10, size=num_categories))
+    distance = pair_distance_feature(positions)
+    log_w = -3.0 + slope * distance + gen.normal(0, noise, distance.shape)
+    log_w = (log_w + log_w.T) / 2
+    weights = np.exp(log_w)
+    np.fill_diagonal(weights, np.nan)
+    sizes = np.full(num_categories, 100.0)
+    return CategoryGraph(sizes, weights), positions
+
+
+class TestFitGravityModel:
+    def test_recovers_planted_slope(self):
+        graph, positions = _synthetic_graph(slope=-0.8, noise=0.02)
+        fit = fit_gravity_model(
+            graph,
+            {"distance": pair_distance_feature(positions)},
+            permutations=200,
+            rng=1,
+        )
+        assert fit.slope("distance") == pytest.approx(-0.8, abs=0.05)
+        assert fit.intercept == pytest.approx(-3.0, abs=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_significant_slope_has_small_p(self):
+        graph, positions = _synthetic_graph(slope=-0.8, noise=0.05)
+        fit = fit_gravity_model(
+            graph,
+            {"distance": pair_distance_feature(positions)},
+            permutations=300,
+            rng=2,
+        )
+        assert fit.p_values[0] < 0.02
+
+    def test_null_feature_has_large_p(self):
+        graph, positions = _synthetic_graph(slope=0.0, noise=0.3, rng=3)
+        fit = fit_gravity_model(
+            graph,
+            {"distance": pair_distance_feature(positions)},
+            permutations=300,
+            rng=4,
+        )
+        assert fit.p_values[0] > 0.05
+
+    def test_predict(self):
+        graph, positions = _synthetic_graph(slope=-0.5, noise=0.01, rng=5)
+        fit = fit_gravity_model(
+            graph,
+            {"distance": pair_distance_feature(positions)},
+            permutations=0,
+        )
+        predicted = fit.predict(np.array([[0.0], [2.0]]))
+        # log-linear: doubling distance scales w by exp(slope * delta)
+        assert predicted[1] / predicted[0] == pytest.approx(
+            np.exp(fit.slope("distance") * 2.0), rel=1e-9
+        )
+
+    def test_predict_shape_mismatch(self):
+        graph, positions = _synthetic_graph()
+        fit = fit_gravity_model(
+            graph, {"distance": pair_distance_feature(positions)}, permutations=0
+        )
+        with pytest.raises(EstimationError):
+            fit.predict(np.ones((2, 3)))
+
+    def test_multiple_features(self):
+        graph, positions = _synthetic_graph(slope=-0.6, noise=0.02, rng=6)
+        rng = np.random.default_rng(7)
+        irrelevant = rng.random(
+            (graph.num_categories, graph.num_categories)
+        )
+        irrelevant = (irrelevant + irrelevant.T) / 2
+        fit = fit_gravity_model(
+            graph,
+            {
+                "distance": pair_distance_feature(positions),
+                "noise": irrelevant,
+            },
+            permutations=200,
+            rng=8,
+        )
+        assert fit.slope("distance") == pytest.approx(-0.6, abs=0.07)
+        assert abs(fit.slope("noise")) < abs(fit.slope("distance"))
+
+    def test_unknown_feature_name(self):
+        graph, positions = _synthetic_graph()
+        fit = fit_gravity_model(
+            graph, {"distance": pair_distance_feature(positions)}, permutations=0
+        )
+        with pytest.raises(EstimationError):
+            fit.slope("altitude")
+
+    def test_no_features_rejected(self):
+        graph, _ = _synthetic_graph()
+        with pytest.raises(EstimationError):
+            fit_gravity_model(graph, {})
+
+    def test_too_few_pairs_rejected(self):
+        weights = np.array([[np.nan, 0.5], [0.5, np.nan]])
+        tiny = CategoryGraph(np.array([1.0, 1.0]), weights)
+        with pytest.raises(EstimationError, match="usable pairs"):
+            fit_gravity_model(
+                tiny, {"distance": np.ones((2, 2))}, permutations=0
+            )
+
+    def test_nan_features_rejected(self):
+        graph, positions = _synthetic_graph()
+        positions = positions.copy()
+        positions[0] = np.nan
+        with pytest.raises(EstimationError, match="non-finite"):
+            fit_gravity_model(
+                graph,
+                {"distance": pair_distance_feature(positions)},
+                permutations=0,
+            )
+
+    def test_summary(self):
+        graph, positions = _synthetic_graph()
+        fit = fit_gravity_model(
+            graph, {"distance": pair_distance_feature(positions)}, permutations=50
+        )
+        text = fit.summary()
+        assert "distance" in text
+        assert "R^2" in text
+
+
+class TestOnFacebookWorld:
+    def test_gravity_on_estimated_country_graph(self):
+        """End to end: the Section 9 application on the Section 7 output."""
+        from repro.facebook import (
+            FacebookModelConfig,
+            build_facebook_world,
+            estimate_country_graph,
+            simulate_crawl_datasets,
+        )
+
+        world = build_facebook_world(FacebookModelConfig(scale=12), rng=0)
+        datasets = simulate_crawl_datasets(
+            world, samples_per_walk=1500, num_walks_2009=4,
+            num_walks_2010=2, rng=1,
+        )
+        estimate = estimate_country_graph(world, datasets)
+        first_pos: dict[str, float] = {}
+        for r, country in enumerate(world.region_country):
+            code = world.country_names[country]
+            first_pos.setdefault(code, float(world.region_position[r]))
+        positions = np.array(
+            [first_pos.get(name, 0.0) for name in estimate.names]
+        )
+        fit = fit_gravity_model(
+            estimate,
+            {"distance": pair_distance_feature(positions)},
+            permutations=200,
+            rng=2,
+        )
+        # Geography must come out significantly negative.
+        assert fit.slope("distance") < 0
+        assert fit.p_values[0] < 0.05

@@ -1,0 +1,71 @@
+"""Tests for NodeSample and the sampler interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling import NodeSample
+
+
+class TestNodeSample:
+    def test_basic(self):
+        s = NodeSample(np.array([1, 2, 2]), np.ones(3), design="uis", uniform=True)
+        assert s.size == 3
+        assert len(s) == 3
+        assert s.num_distinct() == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SamplingError):
+            NodeSample(np.array([1, 2]), np.ones(3))
+
+    def test_nonpositive_weights(self):
+        with pytest.raises(SamplingError):
+            NodeSample(np.array([1]), np.array([0.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SamplingError):
+            NodeSample(np.array([[1]]), np.array([[1.0]]))
+
+    def test_thin(self):
+        s = NodeSample(np.arange(10), np.ones(10), design="rw")
+        thinned = s.thin(3)
+        assert list(thinned.nodes) == [0, 3, 6, 9]
+        assert "thin3" in thinned.design
+
+    def test_thin_period_one_is_identity(self):
+        s = NodeSample(np.arange(5), np.ones(5), design="rw")
+        assert s.thin(1).design == "rw"
+        assert s.thin(1).size == 5
+
+    def test_thin_invalid(self):
+        s = NodeSample(np.array([1]), np.ones(1))
+        with pytest.raises(SamplingError):
+            s.thin(0)
+
+    def test_truncate(self):
+        s = NodeSample(np.arange(10), np.ones(10))
+        assert s.truncate(4).size == 4
+        assert list(s.truncate(4).nodes) == [0, 1, 2, 3]
+
+    def test_truncate_invalid(self):
+        with pytest.raises(SamplingError):
+            NodeSample(np.array([1]), np.ones(1)).truncate(-1)
+
+    def test_concat(self):
+        a = NodeSample(np.array([1]), np.array([2.0]), design="rw")
+        b = NodeSample(np.array([3]), np.array([4.0]), design="rw")
+        joined = a.concat(b)
+        assert joined.size == 2
+        assert list(joined.weights) == [2.0, 4.0]
+
+    def test_concat_uniformity_mismatch(self):
+        a = NodeSample(np.array([1]), np.ones(1), uniform=True)
+        b = NodeSample(np.array([2]), np.ones(1), uniform=False)
+        with pytest.raises(SamplingError):
+            a.concat(b)
+
+    def test_repr(self):
+        s = NodeSample(np.array([1]), np.ones(1), design="uis", uniform=True)
+        assert "design='uis'" in repr(s)

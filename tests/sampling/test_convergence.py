@@ -1,0 +1,98 @@
+"""Tests for walk-convergence diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+    recommend_thinning,
+)
+
+
+class TestGeweke:
+    def test_iid_sample_passes(self):
+        rng = np.random.default_rng(0)
+        z = geweke_z(rng.normal(size=5000))
+        assert abs(z) < 3
+
+    def test_drifting_sample_fails(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000) + np.linspace(0, 5, 5000)
+        assert abs(geweke_z(values)) > 3
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SamplingError):
+            geweke_z(np.ones(5))
+
+    def test_bad_fractions(self):
+        with pytest.raises(SamplingError):
+            geweke_z(np.ones(100), first=0.9, last=0.9)
+
+    def test_constant_series(self):
+        assert geweke_z(np.ones(100)) == 0.0
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(1)
+        acf = autocorrelation(rng.normal(size=1000))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_iid_has_small_lags(self):
+        rng = np.random.default_rng(2)
+        acf = autocorrelation(rng.normal(size=20_000), max_lag=5)
+        assert np.all(np.abs(acf[1:]) < 0.05)
+
+    def test_ar1_decay(self):
+        rng = np.random.default_rng(3)
+        x = np.zeros(20_000)
+        for i in range(1, len(x)):
+            x[i] = 0.8 * x[i - 1] + rng.normal()
+        acf = autocorrelation(x, max_lag=3)
+        assert acf[1] == pytest.approx(0.8, abs=0.05)
+        assert acf[2] == pytest.approx(0.64, abs=0.07)
+
+    def test_constant_series(self):
+        acf = autocorrelation(np.ones(50), max_lag=3)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_too_short(self):
+        with pytest.raises(SamplingError):
+            autocorrelation(np.array([1.0]))
+
+    def test_max_lag_clamped(self):
+        acf = autocorrelation(np.arange(5, dtype=float), max_lag=100)
+        assert len(acf) == 5
+
+
+class TestEss:
+    def test_iid_ess_near_n(self):
+        rng = np.random.default_rng(4)
+        ess = effective_sample_size(rng.normal(size=10_000))
+        assert ess > 7000
+
+    def test_correlated_ess_much_smaller(self):
+        rng = np.random.default_rng(5)
+        x = np.zeros(10_000)
+        for i in range(1, len(x)):
+            x[i] = 0.95 * x[i - 1] + rng.normal()
+        assert effective_sample_size(x) < 2000
+
+
+class TestThinning:
+    def test_iid_needs_no_thinning(self):
+        rng = np.random.default_rng(6)
+        assert recommend_thinning(rng.normal(size=10_000)) == 1
+
+    def test_correlated_needs_thinning(self):
+        rng = np.random.default_rng(7)
+        x = np.zeros(10_000)
+        for i in range(1, len(x)):
+            x[i] = 0.9 * x[i - 1] + rng.normal()
+        assert recommend_thinning(x) > 5

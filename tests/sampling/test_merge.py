@@ -1,0 +1,95 @@
+"""Tests for merging star observations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_sizes_star, estimate_weights_star
+from repro.exceptions import SamplingError
+from repro.generators import planted_category_graph
+from repro.graph import true_category_graph
+from repro.sampling import RandomWalkSampler, UniformIndependenceSampler, observe_star
+from repro.sampling.merge import merge_star_observations
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, partition = planted_category_graph(k=8, scale=80, rng=0)
+    return graph, partition, true_category_graph(graph, partition)
+
+
+class TestMergeStarObservations:
+    def test_merge_equals_concat_then_observe(self, setup):
+        graph, partition, truth = setup
+        s1 = RandomWalkSampler(graph).sample(1000, rng=1)
+        s2 = RandomWalkSampler(graph).sample(1000, rng=2)
+        merged_obs = merge_star_observations([
+            observe_star(graph, partition, s1),
+            observe_star(graph, partition, s2),
+        ])
+        direct_obs = observe_star(graph, partition, s1.concat(s2))
+        # Same estimates either way.
+        a = estimate_sizes_star(merged_obs, graph.num_nodes)
+        b = estimate_sizes_star(direct_obs, graph.num_nodes)
+        assert np.allclose(a, b, equal_nan=True)
+        wa = estimate_weights_star(merged_obs, truth.sizes)
+        wb = estimate_weights_star(direct_obs, truth.sizes)
+        assert np.allclose(wa, wb, equal_nan=True)
+
+    def test_draw_count_adds(self, setup):
+        graph, partition, _ = setup
+        obs = [
+            observe_star(
+                graph, partition,
+                RandomWalkSampler(graph).sample(500, rng=seed),
+            )
+            for seed in range(3)
+        ]
+        merged = merge_star_observations(obs)
+        assert merged.num_draws == 1500
+        assert int(merged.distinct_multiplicities.sum()) == 1500
+
+    def test_single_observation_passthrough(self, setup):
+        graph, partition, _ = setup
+        obs = observe_star(
+            graph, partition, RandomWalkSampler(graph).sample(100, rng=0)
+        )
+        assert merge_star_observations([obs]) is obs
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SamplingError):
+            merge_star_observations([])
+
+    def test_design_mismatch_rejected(self, setup):
+        graph, partition, _ = setup
+        rw = observe_star(
+            graph, partition, RandomWalkSampler(graph).sample(100, rng=0)
+        )
+        uis = observe_star(
+            graph, partition, UniformIndependenceSampler(graph).sample(100, rng=0)
+        )
+        with pytest.raises(SamplingError, match="designs"):
+            merge_star_observations([rw, uis])
+
+    def test_category_set_mismatch_rejected(self, setup):
+        graph, partition, _ = setup
+        other = partition.keep_top(3)
+        a = observe_star(
+            graph, partition, RandomWalkSampler(graph).sample(50, rng=0)
+        )
+        b = observe_star(
+            graph, other, RandomWalkSampler(graph).sample(50, rng=1)
+        )
+        with pytest.raises(SamplingError, match="category set"):
+            merge_star_observations([a, b])
+
+    def test_induced_rejected(self, setup):
+        from repro.sampling import observe_induced
+
+        graph, partition, _ = setup
+        obs = observe_induced(
+            graph, partition, RandomWalkSampler(graph).sample(50, rng=0)
+        )
+        with pytest.raises(SamplingError, match="StarObservation"):
+            merge_star_observations([obs, obs])

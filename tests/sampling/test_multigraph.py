@@ -1,0 +1,83 @@
+"""Tests for the multigraph random-walk sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.generators import gnm
+from repro.graph import Graph
+from repro.sampling import MultigraphRandomWalkSampler
+
+
+class TestMultigraphWalk:
+    def test_total_degree_stationarity(self):
+        a = gnm(150, 600, rng=0)
+        b = gnm(150, 300, rng=1)
+        sampler = MultigraphRandomWalkSampler([a, b])
+        sample = sampler.sample(150_000, rng=2)
+        counts = np.bincount(sample.nodes, minlength=150)
+        target = (a.degrees() + b.degrees()).astype(float)
+        expected = 150_000 * target / target.sum()
+        assert np.all(np.abs(counts - expected) < 8 * np.sqrt(expected + 1))
+
+    def test_weights_are_total_degrees(self):
+        a = gnm(50, 200, rng=0)
+        b = gnm(50, 100, rng=1)
+        sampler = MultigraphRandomWalkSampler([a, b])
+        sample = sampler.sample(100, rng=0)
+        total = a.degrees() + b.degrees()
+        assert np.array_equal(sample.weights, total[sample.nodes])
+
+    def test_escapes_single_relation_components(self):
+        # Relation 1 connects {0,1,2}, relation 2 connects {2,3,4}:
+        # neither alone reaches all nodes from node 0, the union does.
+        r1 = Graph.from_edges(5, [(0, 1), (1, 2)])
+        r2 = Graph.from_edges(5, [(2, 3), (3, 4)])
+        sampler = MultigraphRandomWalkSampler([r1, r2], start=0)
+        sample = sampler.sample(3000, rng=3)
+        assert len(np.unique(sample.nodes)) == 5
+
+    def test_parallel_edges_double_traversal(self):
+        # The same edge in both relations is traversed twice as often
+        # as a single-relation edge from the same node.
+        shared = Graph.from_edges(3, [(0, 1)])
+        shared2 = Graph.from_edges(3, [(0, 1), (0, 2)])
+        sampler = MultigraphRandomWalkSampler([shared, shared2], start=0)
+        sample = sampler.sample(60_000, rng=4)
+        # From node 0: stubs toward 1 = 2, toward 2 = 1. Node 1 only
+        # connects back to 0; node 2 only back to 0. Visits of 1 vs 2
+        # should be ~2:1.
+        visits = np.bincount(sample.nodes, minlength=3)
+        assert 1.7 < visits[1] / visits[2] < 2.3
+
+    def test_single_relation_matches_rw(self):
+        g = gnm(100, 400, rng=5)
+        sampler = MultigraphRandomWalkSampler([g])
+        sample = sampler.sample(1000, rng=6)
+        previous = sample.nodes[0]
+        for node in sample.nodes[1:]:
+            assert g.has_edge(int(previous), int(node))
+            previous = node
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(SamplingError):
+            MultigraphRandomWalkSampler([gnm(10, 20, rng=0), gnm(11, 20, rng=0)])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(SamplingError):
+            MultigraphRandomWalkSampler([Graph.empty(5), Graph.empty(5)])
+
+    def test_no_relations_rejected(self):
+        with pytest.raises(SamplingError):
+            MultigraphRandomWalkSampler([])
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(SamplingError):
+            MultigraphRandomWalkSampler([gnm(10, 20, rng=0)], start=99)
+
+    def test_design_name(self):
+        sampler = MultigraphRandomWalkSampler([gnm(10, 20, rng=0)])
+        assert sampler.design == "multigraph-rw"
+        assert not sampler.uniform

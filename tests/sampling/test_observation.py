@@ -1,0 +1,199 @@
+"""Tests for the induced/star measurement scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling import (
+    NodeSample,
+    observe_induced,
+    observe_star,
+)
+
+
+def _uniform_sample(nodes) -> NodeSample:
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return NodeSample(nodes, np.ones(len(nodes)), design="uis", uniform=True)
+
+
+class TestCompression:
+    def test_distinct_table(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 5, 0, 3]))
+        assert obs.num_draws == 4
+        assert obs.num_distinct == 3
+        assert list(obs.distinct_nodes) == [0, 3, 5]
+        assert list(obs.distinct_multiplicities) == [2, 1, 1]
+        # draw order is preserved through draw_to_distinct
+        reconstructed = obs.distinct_nodes[obs.draw_to_distinct]
+        assert list(reconstructed) == [0, 5, 0, 3]
+
+    def test_category_draw_counts(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 5, 0, 3]))
+        counts = obs.category_draw_counts()
+        assert counts[partition.index_of("white")] == 2
+        assert counts[partition.index_of("gray")] == 1
+        assert counts[partition.index_of("black")] == 1
+
+    def test_reweighted_equals_counts_when_uniform(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 5, 0, 3]))
+        assert np.allclose(obs.reweighted_sizes(), obs.category_draw_counts())
+
+    def test_weighted_reweighting(self, paper_figure1):
+        graph, partition = paper_figure1
+        sample = NodeSample(
+            np.array([0, 5]), np.array([4.0, 2.0]), design="rw", uniform=False
+        )
+        obs = observe_induced(graph, partition, sample)
+        rw = obs.reweighted_sizes()
+        assert rw[partition.index_of("white")] == pytest.approx(0.25)
+        assert rw[partition.index_of("black")] == pytest.approx(0.5)
+
+    def test_inconsistent_weights_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        sample = NodeSample(
+            np.array([0, 0]), np.array([1.0, 2.0]), design="rw", uniform=False
+        )
+        with pytest.raises(SamplingError, match="differ"):
+            observe_induced(graph, partition, sample)
+
+    def test_empty_sample_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        with pytest.raises(SamplingError):
+            observe_induced(
+                graph,
+                partition,
+                NodeSample(np.empty(0, dtype=np.int64), np.empty(0)),
+            )
+
+    def test_out_of_range_sample_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        with pytest.raises(SamplingError):
+            observe_induced(graph, partition, _uniform_sample([999]))
+
+
+class TestInducedObservation:
+    def test_only_induced_edges_observed(self, paper_figure1):
+        graph, partition = paper_figure1
+        # 0-5 is an edge; 0-3 is an edge; 3-5 is not; 5-6 not sampled.
+        obs = observe_induced(graph, partition, _uniform_sample([0, 3, 5]))
+        edge_set = {
+            (int(obs.distinct_nodes[i]), int(obs.distinct_nodes[j]))
+            for i, j in obs.induced_edges
+        }
+        assert edge_set == {(0, 3), (0, 5)}
+
+    def test_no_edges_when_sample_is_independent_set(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 7]))
+        assert len(obs.induced_edges) == 0
+
+    def test_full_census_sees_all_edges(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(
+            graph, partition, _uniform_sample(np.arange(graph.num_nodes))
+        )
+        assert len(obs.induced_edges) == graph.num_edges
+
+    def test_subset_draws(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 3, 5, 7]))
+        sub = obs.subset_draws(np.array([0, 1]))  # keep draws of 0 and 3
+        assert sub.num_draws == 2
+        assert sub.num_distinct == 2
+        edge_set = {
+            (int(sub.distinct_nodes[i]), int(sub.distinct_nodes[j]))
+            for i, j in sub.induced_edges
+        }
+        assert edge_set == {(0, 3)}
+
+    def test_subset_with_repeats(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0, 3]))
+        sub = obs.subset_draws(np.array([0, 0, 1]))
+        assert sub.num_draws == 3
+        assert list(sub.distinct_multiplicities) == [2, 1]
+
+    def test_subset_empty_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0]))
+        with pytest.raises(SamplingError):
+            obs.subset_draws(np.empty(0, dtype=np.int64))
+
+    def test_subset_out_of_range_rejected(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_induced(graph, partition, _uniform_sample([0]))
+        with pytest.raises(SamplingError):
+            obs.subset_draws(np.array([5]))
+
+
+class TestStarObservation:
+    def test_degrees_recorded(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0, 4]))
+        degree_of = dict(zip(obs.distinct_nodes.tolist(), obs.distinct_degrees.tolist()))
+        assert degree_of[0] == graph.degree(0)
+        assert degree_of[4] == graph.degree(4)
+
+    def test_neighbor_category_histogram(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0]))
+        # node 0 neighbors: 1 (white), 3 (gray), 5 (black)
+        row = {}
+        for pos in range(obs.neighbor_indptr[0], obs.neighbor_indptr[1]):
+            row[int(obs.neighbor_categories[pos])] = int(obs.neighbor_counts[pos])
+        white = partition.index_of("white")
+        gray = partition.index_of("gray")
+        black = partition.index_of("black")
+        assert row == {white: 1, gray: 1, black: 1}
+
+    def test_neighbor_matrix_unweighted_totals(self, paper_figure1):
+        graph, partition = paper_figure1
+        sample = _uniform_sample([0, 4, 0])  # node 0 drawn twice
+        obs = observe_star(graph, partition, sample)
+        matrix = obs.neighbor_category_matrix(weighted=False)
+        # total neighbor count = sum of degrees over draws (vol of multiset)
+        assert matrix.sum() == graph.degree(0) * 2 + graph.degree(4)
+
+    def test_neighbor_matrix_weighted(self, paper_figure1):
+        graph, partition = paper_figure1
+        sample = NodeSample(
+            np.array([0]), np.array([2.0]), design="rw", uniform=False
+        )
+        obs = observe_star(graph, partition, sample)
+        unweighted = obs.neighbor_category_matrix(weighted=False)
+        weighted = obs.neighbor_category_matrix(weighted=True)
+        assert np.allclose(weighted, unweighted / 2.0)
+
+    def test_degree_totals(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0, 4]))
+        totals = obs.degree_totals(weighted=False)
+        white = partition.index_of("white")
+        gray = partition.index_of("gray")
+        assert totals[white] == graph.degree(0)
+        assert totals[gray] == graph.degree(4)
+
+    def test_subset_draws_star(self, paper_figure1):
+        graph, partition = paper_figure1
+        obs = observe_star(graph, partition, _uniform_sample([0, 4, 6]))
+        sub = obs.subset_draws(np.array([2, 2]))
+        assert sub.num_draws == 2
+        assert sub.num_distinct == 1
+        assert int(sub.distinct_nodes[0]) == 6
+        assert sub.distinct_degrees[0] == graph.degree(6)
+        matrix = sub.neighbor_category_matrix(weighted=False)
+        assert matrix.sum() == 2 * graph.degree(6)
+
+    def test_isolated_node_star(self):
+        from repro.graph import CategoryPartition, Graph
+
+        g = Graph.from_edges(3, [(0, 1)])
+        p = CategoryPartition(np.array([0, 0, 1]))
+        obs = observe_star(g, p, _uniform_sample([2]))
+        assert obs.distinct_degrees[0] == 0
+        assert obs.neighbor_category_matrix(weighted=False).sum() == 0

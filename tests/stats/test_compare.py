@@ -1,0 +1,99 @@
+"""Tests for category-graph comparison utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.graph import CategoryGraph
+from repro.stats import compare_category_graphs
+
+
+def _graph(weights: np.ndarray, sizes=None, names=None) -> CategoryGraph:
+    c = len(weights)
+    w = weights.astype(float).copy()
+    np.fill_diagonal(w, np.nan)
+    return CategoryGraph(
+        np.asarray(sizes if sizes is not None else np.ones(c) * 10.0),
+        (w + w.T) / 2,
+        names=names,
+    )
+
+
+class TestCompare:
+    def test_identical_graphs(self):
+        rng = np.random.default_rng(0)
+        w = rng.random((5, 5))
+        g = _graph(w)
+        result = compare_category_graphs(g, g)
+        assert result.median_weight_relative_error == 0.0
+        assert result.weight_rank_correlation == pytest.approx(1.0)
+        assert result.top_edge_overlap == 1.0
+        assert result.median_size_relative_error == 0.0
+
+    def test_scaled_weights_keep_rank_correlation(self):
+        rng = np.random.default_rng(1)
+        w = rng.random((6, 6))
+        a = _graph(w)
+        b = _graph(2 * w)
+        result = compare_category_graphs(b, a)
+        assert result.weight_rank_correlation == pytest.approx(1.0)
+        assert result.median_weight_relative_error == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        w = np.array(
+            [[0, 1, 2, 3], [1, 0, 4, 5], [2, 4, 0, 6], [3, 5, 6, 0]],
+            dtype=float,
+        )
+        a = _graph(w)
+        b = _graph(7 - w)  # reversed ordering
+        result = compare_category_graphs(b, a)
+        assert result.weight_rank_correlation < -0.9
+
+    def test_size_errors(self):
+        rng = np.random.default_rng(2)
+        w = rng.random((4, 4))
+        a = _graph(w, sizes=[10, 10, 10, 10])
+        b = _graph(w, sizes=[11, 11, 11, 11])
+        result = compare_category_graphs(b, a)
+        assert result.median_size_relative_error == pytest.approx(0.1)
+
+    def test_name_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        w = rng.random((3, 3))
+        a = _graph(w, names=("x", "y", "z"))
+        b = _graph(w, names=("x", "y", "w"))
+        with pytest.raises(EstimationError, match="names"):
+            compare_category_graphs(b, a)
+
+    def test_no_comparable_pairs_rejected(self):
+        w = np.zeros((3, 3))
+        a = _graph(w)
+        b = _graph(w)
+        with pytest.raises(EstimationError, match="comparable"):
+            compare_category_graphs(b, a)
+
+    def test_summary_text(self):
+        rng = np.random.default_rng(4)
+        w = rng.random((4, 4))
+        result = compare_category_graphs(_graph(w), _graph(w))
+        assert "rank corr" in result.summary()
+
+    def test_end_to_end_estimate_vs_truth(self):
+        from repro.core import estimate_category_graph
+        from repro.generators import planted_category_graph
+        from repro.graph import true_category_graph
+        from repro.sampling import UniformIndependenceSampler, observe_star
+
+        graph, partition = planted_category_graph(k=10, scale=40, rng=0)
+        truth = true_category_graph(graph, partition)
+        sample = UniformIndependenceSampler(graph).sample(20_000, rng=1)
+        estimate = estimate_category_graph(
+            observe_star(graph, partition, sample),
+            population_size=graph.num_nodes,
+        )
+        result = compare_category_graphs(estimate, truth)
+        assert result.median_weight_relative_error < 0.3
+        assert result.weight_rank_correlation > 0.8
+        assert result.top_edge_overlap >= 0.5

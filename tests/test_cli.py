@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale is None
+        assert args.seed == 0
+
+    def test_run_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig3a", "--scale", "small", "--seed", "3", "--out", str(tmp_path)]
+        )
+        assert args.scale == "small"
+        assert args.seed == 3
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3a", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(experiment_ids())
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_table1_and_save(self, tmp_path, capsys):
+        assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,128 @@
+"""Tests for RNG plumbing and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    EstimationError,
+    ExperimentError,
+    GenerationError,
+    GraphError,
+    PartitionError,
+    ReproError,
+    SamplingError,
+)
+from repro.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = ensure_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        streams = spawn_rngs(0, 5)
+        assert len(streams) == 5
+
+    def test_independence(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_reproducible(self):
+        first = [g.random() for g in spawn_rngs(3, 4)]
+        second = [g.random() for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestDeriveRng:
+    def test_tag_determinism(self):
+        a = derive_rng(5, 1, 2).random(3)
+        b = derive_rng(5, 1, 2).random(3)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        a = derive_rng(5, 1).random(3)
+        b = derive_rng(5, 2).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_accepts_none(self):
+        assert isinstance(derive_rng(None, 1), np.random.Generator)
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(0)
+        assert isinstance(derive_rng(gen, 1), np.random.Generator)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            PartitionError,
+            SamplingError,
+            EstimationError,
+            GenerationError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(GraphError):
+            raise GraphError("specific")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_exports(self):
+        import repro
+
+        assert callable(repro.estimate_category_graph)
+        assert callable(repro.planted_category_graph)
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_symbol
+
+    def test_examples_compile(self):
+        import py_compile
+        from pathlib import Path
+
+        for script in Path(__file__).resolve().parents[1].glob("examples/*.py"):
+            py_compile.compile(str(script), doraise=True)

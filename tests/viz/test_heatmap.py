@@ -1,0 +1,79 @@
+"""Tests for the category-graph ASCII heatmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.graph import CategoryGraph
+from repro.viz import weight_heatmap
+
+
+def _graph(c: int = 5, seed: int = 0) -> CategoryGraph:
+    rng = np.random.default_rng(seed)
+    w = rng.random((c, c)) * 0.1
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, np.nan)
+    return CategoryGraph(
+        np.arange(1, c + 1, dtype=float) * 10,
+        w,
+        names=tuple(f"cat{i}" for i in range(c)),
+    )
+
+
+class TestWeightHeatmap:
+    def test_renders_all_rows(self):
+        text = weight_heatmap(_graph(5))
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 5
+
+    def test_diagonal_marker(self):
+        text = weight_heatmap(_graph(4))
+        for i, line in enumerate(l for l in text.splitlines() if "|" in l):
+            body = line.split("|")[1]
+            assert body[i] == "\\"
+
+    def test_custom_order(self):
+        g = _graph(4)
+        text = weight_heatmap(g, order=np.array([3, 2, 1, 0]))
+        first_label = text.splitlines()[0].split("|")[0].strip()
+        assert first_label == "cat3"
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(EstimationError, match="permutation"):
+            weight_heatmap(_graph(4), order=np.array([0, 0, 1, 2]))
+
+    def test_max_categories_truncates(self):
+        text = weight_heatmap(_graph(10), max_categories=4)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 4
+        # Heaviest (largest-size) categories kept: sizes ascend with index.
+        assert "cat9" in text
+
+    def test_zero_weights_blank(self):
+        w = np.full((3, 3), np.nan)
+        w[0, 1] = w[1, 0] = 0.5
+        w[0, 2] = w[2, 0] = 0.0
+        g = CategoryGraph(np.ones(3), w)
+        text = weight_heatmap(g)
+        rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        # The single positive weight renders as a non-blank shade...
+        assert rows[0][1] != " "
+        # ...and the zero weight stays blank.
+        assert rows[0][2] == " "
+
+    def test_single_category_rejected(self):
+        g = CategoryGraph(np.ones(1), np.full((1, 1), np.nan))
+        with pytest.raises(EstimationError):
+            weight_heatmap(g)
+
+    def test_all_zero_rejected(self):
+        w = np.zeros((3, 3))
+        np.fill_diagonal(w, np.nan)
+        g = CategoryGraph(np.ones(3), w)
+        with pytest.raises(EstimationError, match="positive"):
+            weight_heatmap(g)
+
+    def test_legend_present(self):
+        assert "log10 w" in weight_heatmap(_graph(3))

@@ -1,0 +1,82 @@
+"""Tests for ASCII charts and series export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_chart, format_table, write_series_csv, write_series_json
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"a": ([1, 10, 100], [0.5, 0.2, 0.1]), "b": ([1, 10], [1.0, 0.3])},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_handles_empty(self):
+        assert "(no finite data)" in ascii_chart({}, title="t")
+
+    def test_skips_nonfinite(self):
+        chart = ascii_chart({"a": ([1, 2, 3], [np.nan, 0.5, np.inf])})
+        assert "o a" in chart
+
+    def test_skips_nonpositive_on_log(self):
+        chart = ascii_chart({"a": ([1, 2], [0.0, 0.5])}, log_y=True)
+        assert "o a" in chart
+
+    def test_linear_axes(self):
+        chart = ascii_chart(
+            {"cdf": ([0.1, 0.2, 0.3], [0.2, 0.6, 1.0])},
+            log_x=False,
+            log_y=False,
+        )
+        assert "o cdf" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart({"flat": ([1, 2, 3], [1.0, 1.0, 1.0])})
+        assert "o flat" in chart
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ("name", "value"), [("abc", 1.5), ("x", 22)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "---" in lines[2]
+        assert "abc" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(("v",), [(1.23456789e-8,)])
+        assert "e-08" in table
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv(path, {"a": ([1, 2], [0.5, 0.25])})
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["a", "1.0", "0.5"]
+        assert len(rows) == 3
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "series.json"
+        write_series_json(
+            path, {"a": ([1], [2])}, metadata={"title": "demo"}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["title"] == "demo"
+        assert payload["series"]["a"]["x"] == [1.0]
+        assert payload["series"]["a"]["y"] == [2.0]
