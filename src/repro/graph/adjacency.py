@@ -45,11 +45,12 @@ class Graph:
         guarantee the invariants pass ``False``.
     """
 
-    __slots__ = ("_indptr", "_indices", "_num_edges")
+    __slots__ = ("_indptr", "_indices", "_num_edges", "_arc_sources")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
+        self._arc_sources = None
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphError("indptr and indices must be one-dimensional arrays")
         if len(indptr) == 0 or indptr[0] != 0:
@@ -77,17 +78,24 @@ class Graph:
             self._indices.min() < 0 or self._indices.max() >= n
         ):
             raise GraphError("indices reference node ids outside [0, num_nodes)")
-        degrees = np.diff(self._indptr)
-        # Sorted runs and no duplicates / self-loops, vectorised:
-        for v in range(n):
-            run = self._indices[self._indptr[v] : self._indptr[v + 1]]
-            if len(run) > 1 and np.any(np.diff(run) <= 0):
+        rev = self.arc_sources
+        # Sorted runs and no duplicates / self-loops, via one np.diff
+        # over the full indices array masked at run boundaries.
+        if len(self._indices):
+            loops = self._indices == rev
+            if np.any(loops):
+                raise GraphError(
+                    f"self-loop at node {int(rev[int(np.argmax(loops))])}"
+                )
+        if len(self._indices) > 1:
+            steps = np.diff(self._indices)
+            within_run = rev[1:] == rev[:-1]
+            unsorted = within_run & (steps <= 0)
+            if np.any(unsorted):
+                v = int(rev[1:][int(np.argmax(unsorted))])
                 raise GraphError(f"adjacency of node {v} is not strictly sorted")
-            if len(run) and np.any(run == v):
-                raise GraphError(f"self-loop at node {v}")
         # Symmetry: total in-degree equals total out-degree per node is
         # implied if every arc has a reverse arc.
-        rev = np.repeat(np.arange(n, dtype=np.int64), degrees)
         order_fwd = np.lexsort((self._indices, rev))
         order_rev = np.lexsort((rev, self._indices))
         if not (
@@ -132,6 +140,22 @@ class Graph:
         """Degree of every node, as an ``int64`` array of shape ``(N,)``."""
         return np.diff(self._indptr)
 
+    @property
+    def arc_sources(self) -> np.ndarray:
+        """Source node of every directed arc, aligned with ``indices``.
+
+        ``(arc_sources[i], indices[i])`` enumerates all ``2|E|`` arcs.
+        Computed once and cached (the graph is immutable); validation and
+        the observation builders share it. Read-only view.
+        """
+        if self._arc_sources is None:
+            self._arc_sources = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), np.diff(self._indptr)
+            )
+        view = self._arc_sources.view()
+        view.flags.writeable = False
+        return view
+
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor ids of ``v`` (read-only array view)."""
         self._check_node(v)
@@ -167,7 +191,8 @@ class Graph:
         nodes = np.asarray(nodes, dtype=np.int64)
         if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
             raise GraphError("volume() received node ids outside the graph")
-        return int(np.sum(np.diff(self._indptr)[nodes]))
+        # Two O(|nodes|) gathers; never materializes all N degrees.
+        return int(np.sum(self._indptr[nodes + 1] - self._indptr[nodes]))
 
     def mean_degree(self) -> float:
         """Average node degree ``k_V = 2|E| / N``; 0.0 for the empty graph."""

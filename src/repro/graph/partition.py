@@ -38,7 +38,7 @@ class CategoryPartition:
         inferred from the labels when omitted.
     """
 
-    __slots__ = ("_labels", "_names", "_num_categories", "_sizes")
+    __slots__ = ("_labels", "_names", "_num_categories", "_sizes", "_arc_label_cache")
 
     def __init__(
         self,
@@ -73,6 +73,7 @@ class CategoryPartition:
         self._num_categories = int(num_categories)
         self._sizes = np.bincount(labels, minlength=num_categories).astype(np.int64)
         self._sizes.flags.writeable = False
+        self._arc_label_cache = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -133,6 +134,20 @@ class CategoryPartition:
         if self._names is not None:
             return self._names
         return tuple(f"C{i}" for i in range(self._num_categories))
+
+    def arc_labels(self, graph: Graph) -> np.ndarray:
+        """Category of the destination of every arc of ``graph``.
+
+        ``labels[graph.indices]``, cached for the most recent graph —
+        replicated observation passes over one substrate reuse it
+        instead of re-gathering per replicate. Read-only view.
+        """
+        cache = self._arc_label_cache
+        if cache is None or cache[0] is not graph:
+            values = self._labels[graph.indices]
+            values.flags.writeable = False
+            self._arc_label_cache = (graph, values)
+        return self._arc_label_cache[1]
 
     def category_of(self, v: int) -> int:
         """Category index of node ``v``."""

@@ -1,6 +1,7 @@
 """Sampling designs and measurement scenarios (Section 3 of the paper)."""
 
 from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.batch import BatchNodeSample, sample_many
 from repro.sampling.convergence import (
     autocorrelation,
     effective_sample_size,
@@ -14,6 +15,7 @@ from repro.sampling.independence import (
 from repro.sampling.observation import (
     InducedObservation,
     StarObservation,
+    observe_both,
     observe_induced,
     observe_star,
 )
@@ -31,6 +33,8 @@ from repro.sampling.walks import (
 __all__ = [
     "NodeSample",
     "Sampler",
+    "BatchNodeSample",
+    "sample_many",
     "UniformIndependenceSampler",
     "WeightedIndependenceSampler",
     "RandomWalkSampler",
@@ -45,6 +49,7 @@ __all__ = [
     "StarObservation",
     "observe_induced",
     "observe_star",
+    "observe_both",
     "merge_star_observations",
     "geweke_z",
     "autocorrelation",

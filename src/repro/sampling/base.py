@@ -148,6 +148,24 @@ class Sampler(abc.ABC):
     ) -> NodeSample:
         """Draw a sample of ``n`` nodes (with replacement)."""
 
+    def sample_many(
+        self,
+        n: int,
+        replications: int,
+        rng: np.random.Generator | int | None = None,
+    ):
+        """Draw ``replications`` independent size-``n`` samples at once.
+
+        Returns a :class:`repro.sampling.batch.BatchNodeSample` whose
+        replicate ``r`` is bit-for-bit identical to
+        ``self.sample(n, rng=spawn_rngs(rng, replications)[r])``. Walk
+        designs advance all replicates as one vectorized frontier
+        (:mod:`repro.sampling.batch`); other designs loop per stream.
+        """
+        from repro.sampling.batch import sample_many  # deferred: avoids a cycle
+
+        return sample_many(self, n, replications, rng=rng)
+
     def _check_size(self, n: int) -> None:
         if n <= 0:
             raise SamplingError(f"sample size must be positive, got {n}")

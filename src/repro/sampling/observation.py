@@ -37,6 +37,7 @@ __all__ = [
     "StarObservation",
     "observe_induced",
     "observe_star",
+    "observe_both",
 ]
 
 
@@ -74,24 +75,48 @@ class _ObservationBase:
         """Number of distinct sampled nodes."""
         return len(self.distinct_nodes)
 
+    def _memo(self, key, compute):
+        """Cache a derived aggregate on this (immutable) observation.
+
+        The four estimator families share several reductions per sweep
+        rung (``reweighted_sizes`` alone is needed by all of them);
+        memoizing keeps each O(distinct) pass single. Cached arrays are
+        frozen read-only so sharing is safe.
+        """
+        cache = self.__dict__.get("_memo_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_memo_cache", cache)
+        if key not in cache:
+            value = compute()
+            value.flags.writeable = False
+            cache[key] = value
+        return cache[key]
+
     def category_draw_counts(self) -> np.ndarray:
         """``|S_A|`` for every category (with multiplicity), shape (C,)."""
-        counts = np.zeros(self.num_categories, dtype=np.int64)
-        np.add.at(counts, self.distinct_categories, self.distinct_multiplicities)
-        return counts
+        return self._memo(
+            "draw_counts",
+            lambda: np.bincount(
+                self.distinct_categories,
+                weights=self.distinct_multiplicities,
+                minlength=self.num_categories,
+            ).astype(np.int64),
+        )
 
     def reweighted_sizes(self) -> np.ndarray:
         """``w^{-1}(S_A) = sum_{v in S_A} 1 / w(v)`` per category (Sec. 5.1).
 
         Under a uniform design this equals ``|S_A|``.
         """
-        out = np.zeros(self.num_categories)
-        np.add.at(
-            out,
-            self.distinct_categories,
-            self.distinct_multiplicities / self.distinct_weights,
+        return self._memo(
+            "reweighted",
+            lambda: np.bincount(
+                self.distinct_categories,
+                weights=self.distinct_multiplicities / self.distinct_weights,
+                minlength=self.num_categories,
+            ),
         )
-        return out
 
 
 @dataclass(frozen=True)
@@ -153,32 +178,37 @@ class StarObservation(_ObservationBase):
         optionally divided by the draw weight — the numerator machinery
         of Eqs. (7), (9), (13), (16).
         """
-        c = self.num_categories
-        matrix = np.zeros((c, c))
-        rows = np.repeat(
-            self.distinct_categories, np.diff(self.neighbor_indptr)
-        )
-        scale = self.distinct_multiplicities.astype(float)
-        if weighted:
-            scale = scale / self.distinct_weights
-        per_entry = np.repeat(scale, np.diff(self.neighbor_indptr))
-        np.add.at(
-            matrix,
-            (rows, self.neighbor_categories),
-            per_entry * self.neighbor_counts,
-        )
-        return matrix
+
+        def compute() -> np.ndarray:
+            c = self.num_categories
+            lengths = np.diff(self.neighbor_indptr)
+            rows = np.repeat(self.distinct_categories, lengths)
+            scale = self.distinct_multiplicities.astype(float)
+            if weighted:
+                scale = scale / self.distinct_weights
+            per_entry = np.repeat(scale, lengths)
+            return np.bincount(
+                rows * np.int64(c) + self.neighbor_categories,
+                weights=per_entry * self.neighbor_counts,
+                minlength=c * c,
+            ).reshape(c, c)
+
+        return self._memo(("neighbor_matrix", weighted), compute)
 
     def degree_totals(self, weighted: bool) -> np.ndarray:
         """``sum_{v in S_A} deg(v) (/w(v))`` per category, shape (C,)."""
-        out = np.zeros(self.num_categories)
-        scale = self.distinct_multiplicities.astype(float)
-        if weighted:
-            scale = scale / self.distinct_weights
-        np.add.at(
-            out, self.distinct_categories, scale * self.distinct_degrees
-        )
-        return out
+
+        def compute() -> np.ndarray:
+            scale = self.distinct_multiplicities.astype(float)
+            if weighted:
+                scale = scale / self.distinct_weights
+            return np.bincount(
+                self.distinct_categories,
+                weights=scale * self.distinct_degrees,
+                minlength=self.num_categories,
+            )
+
+        return self._memo(("degree_totals", weighted), compute)
 
     def subset_draws(self, draw_indices: np.ndarray) -> "StarObservation":
         """Observation restricted to a subset/resample of draws."""
@@ -189,90 +219,178 @@ def observe_induced(
     graph: Graph, partition: CategoryPartition, sample: NodeSample
 ) -> InducedObservation:
     """Measure a sample under induced subgraph sampling."""
-    base = _compress(graph, partition, sample)
-    distinct = base["distinct_nodes"]
-    position = np.full(graph.num_nodes, -1, dtype=np.int64)
-    position[distinct] = np.arange(len(distinct))
-    indptr, indices = graph.indptr, graph.indices
-    in_sample = np.zeros(graph.num_nodes, dtype=bool)
-    in_sample[distinct] = True
-    rows: list[np.ndarray] = []
-    cols: list[np.ndarray] = []
-    for i, v in enumerate(distinct):
-        nbrs = indices[indptr[v] : indptr[v + 1]]
-        hits = nbrs[in_sample[nbrs]]
-        js = position[hits]
-        keep = js > i  # each undirected edge once
-        if np.any(keep):
-            js = js[keep]
-            rows.append(np.full(len(js), i, dtype=np.int64))
-            cols.append(js)
-    if rows:
-        edges = np.column_stack((np.concatenate(rows), np.concatenate(cols)))
-    else:
-        edges = np.empty((0, 2), dtype=np.int64)
-    return InducedObservation(induced_edges=edges, **base)
+    base, position = _compress(graph, partition, sample)
+    position = _ensure_position(graph, base["distinct_nodes"], position)
+    return InducedObservation(
+        induced_edges=_induced_edges(graph, position), **base
+    )
 
 
 def observe_star(
     graph: Graph, partition: CategoryPartition, sample: NodeSample
 ) -> StarObservation:
     """Measure a sample under (labeled) star sampling."""
-    base = _compress(graph, partition, sample)
-    distinct = base["distinct_nodes"]
-    indptr, indices = graph.indptr, graph.indices
-    degrees = (indptr[distinct + 1] - indptr[distinct]).astype(np.int64)
+    base, position = _compress(graph, partition, sample)
+    position = _ensure_position(graph, base["distinct_nodes"], position)
+    return StarObservation(
+        **_star_fields(graph, partition, base["distinct_nodes"], position),
+        **base,
+    )
+
+
+def observe_both(
+    graph: Graph, partition: CategoryPartition, sample: NodeSample
+) -> tuple[InducedObservation, StarObservation]:
+    """Both measurement scenarios of one sample, sharing one compression.
+
+    The draw-list compression and the membership scan over the graph's
+    arc list are the heavy parts of both ``observe_*`` functions; sweep
+    harnesses that need both views (every NRMSE ladder does) should
+    build them together. Results are identical to the two separate calls.
+    """
+    base, position = _compress(graph, partition, sample)
+    position = _ensure_position(graph, base["distinct_nodes"], position)
+    source_rows = (
+        position[graph.arc_sources] if len(graph.indices) else None
+    )
+    induced = InducedObservation(
+        induced_edges=_induced_edges(graph, position, source_rows), **base
+    )
+    star = StarObservation(
+        **_star_fields(
+            graph, partition, base["distinct_nodes"], position, source_rows
+        ),
+        **base,
+    )
+    return induced, star
+
+
+def _ensure_position(
+    graph: Graph, distinct: np.ndarray, position: np.ndarray | None
+) -> np.ndarray:
+    """Node id -> distinct row map (-1 for unsampled nodes)."""
+    if position is None:
+        position = np.full(graph.num_nodes, -1, dtype=np.int64)
+        position[distinct] = np.arange(len(distinct))
+    return position
+
+
+def _induced_edges(
+    graph: Graph, position: np.ndarray, source_rows: np.ndarray | None = None
+) -> np.ndarray:
+    """Edges among distinct nodes (rows into the distinct table).
+
+    One membership mask over the graph's arc list: arcs whose source is
+    unsampled map to -1, and requiring ``dest row > source row`` both
+    filters unsampled destinations and keeps each undirected edge once
+    — no per-node Python loop.
+    """
+    if not len(graph.indices):
+        return np.empty((0, 2), dtype=np.int64)
+    if source_rows is None:
+        source_rows = position[graph.arc_sources]
+    dest_rows = position[graph.indices]
+    kept = np.flatnonzero((source_rows >= 0) & (dest_rows > source_rows))
+    return np.column_stack((source_rows.take(kept), dest_rows.take(kept)))
+
+
+def _star_fields(
+    graph: Graph,
+    partition: CategoryPartition,
+    distinct: np.ndarray,
+    position: np.ndarray,
+    source_rows: np.ndarray | None = None,
+) -> dict:
+    """Neighbor-category CSR histogram fields of a star observation.
+
+    Built from one pass over the graph's arc list: arcs owned by
+    sampled nodes are keyed by (distinct row, neighbor category) and
+    histogrammed.
+    """
     c = partition.num_categories
-    # Gather all neighbor labels of all distinct nodes, vectorised.
+    num_distinct = len(distinct)
+    indptr = graph.indptr
+    degrees = (indptr[distinct + 1] - indptr[distinct]).astype(np.int64)
     total = int(degrees.sum())
     if total:
-        starts = indptr[distinct]
-        run_offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
-        gather = np.repeat(starts - run_offsets, degrees) + np.arange(total)
-        neighbor_labels = partition.labels[indices[gather]]
-        owner_rows = np.repeat(np.arange(len(distinct), dtype=np.int64), degrees)
-        keys = owner_rows * np.int64(c) + neighbor_labels
-        unique_keys, counts = np.unique(keys, return_counts=True)
+        if source_rows is None:
+            source_rows = position[graph.arc_sources]
+        arc_keys = source_rows * np.int64(c) + partition.arc_labels(graph)
+        key_space = num_distinct * c
+        if key_space <= max(4 * total, 1 << 20):
+            # Dense histogram: O(total + D*C) beats the O(total log total)
+            # sort when the key space is comparable to the entry count.
+            # Offsetting by c folds unsampled sources (row -1) into the
+            # sliced-off first block, so no mask/compress pass is needed.
+            histogram = np.bincount(arc_keys + np.int64(c), minlength=key_space + c)[c:]
+            unique_keys = np.flatnonzero(histogram)
+            counts = histogram[unique_keys]
+        else:
+            unique_keys, counts = np.unique(
+                arc_keys[source_rows >= 0], return_counts=True
+            )
         nbr_rows = unique_keys // c
         nbr_cats = (unique_keys % c).astype(np.int64)
-        nbr_indptr = np.zeros(len(distinct) + 1, dtype=np.int64)
+        nbr_indptr = np.zeros(num_distinct + 1, dtype=np.int64)
         np.add.at(nbr_indptr, nbr_rows + 1, 1)
         np.cumsum(nbr_indptr, out=nbr_indptr)
     else:
         nbr_cats = np.empty(0, dtype=np.int64)
         counts = np.empty(0, dtype=np.int64)
-        nbr_indptr = np.zeros(len(distinct) + 1, dtype=np.int64)
-    return StarObservation(
-        distinct_degrees=degrees,
-        neighbor_indptr=nbr_indptr,
-        neighbor_categories=nbr_cats,
-        neighbor_counts=counts.astype(np.int64),
-        **base,
-    )
+        nbr_indptr = np.zeros(num_distinct + 1, dtype=np.int64)
+    return {
+        "distinct_degrees": degrees,
+        "neighbor_indptr": nbr_indptr,
+        "neighbor_categories": nbr_cats,
+        "neighbor_counts": counts.astype(np.int64),
+    }
 
 
 def _compress(
     graph: Graph, partition: CategoryPartition, sample: NodeSample
-) -> dict:
-    """Shared draw-list → distinct-table compression."""
+) -> tuple[dict, "np.ndarray | None"]:
+    """Shared draw-list → distinct-table compression.
+
+    Returns the observation base fields plus, when cheaply available,
+    the node-id -> distinct-row map (-1 for unsampled nodes) for reuse
+    by the induced-edge scan.
+    """
     if partition.num_nodes != graph.num_nodes:
         raise SamplingError("partition node count does not match the graph")
     if sample.size == 0:
         raise SamplingError("cannot observe an empty sample")
     if sample.nodes.max() >= graph.num_nodes or sample.nodes.min() < 0:
         raise SamplingError("sample references nodes outside the graph")
-    distinct, draw_to_distinct, multiplicities = np.unique(
-        sample.nodes, return_inverse=True, return_counts=True
-    )
+    position = None
+    if graph.num_nodes <= max(4 * sample.size, 1 << 20):
+        # Dense histogram over the node space: O(n + N) and identical
+        # output to np.unique (sorted distinct ids), skipping its sort.
+        histogram = np.bincount(sample.nodes, minlength=graph.num_nodes)
+        distinct = np.flatnonzero(histogram)
+        multiplicities = histogram[distinct]
+        # -1 for non-members, so the array doubles as the membership map
+        # _induced_edges needs.
+        position = np.full(graph.num_nodes, -1, dtype=np.int64)
+        position[distinct] = np.arange(len(distinct))
+        draw_to_distinct = position[sample.nodes]
+    else:
+        distinct, draw_to_distinct, multiplicities = np.unique(
+            sample.nodes, return_inverse=True, return_counts=True
+        )
     # Weights are per-node for every design in this library; verify that
     # repeated draws of a node agree, then keep one weight per distinct.
     weights = np.zeros(len(distinct))
     weights[draw_to_distinct] = sample.weights
-    if not np.allclose(weights[draw_to_distinct], sample.weights):
+    spread = weights[draw_to_distinct]
+    # Exact equality is the overwhelmingly common case; only fall back
+    # to the tolerance check when something actually differs.
+    if not np.array_equal(spread, sample.weights) and not np.allclose(
+        spread, sample.weights
+    ):
         raise SamplingError(
             "sample weights differ across draws of the same node"
         )
-    return {
+    base = {
         "names": partition.names,
         "num_draws": sample.size,
         "draw_to_distinct": draw_to_distinct.astype(np.int64),
@@ -283,6 +401,7 @@ def _compress(
         "uniform": sample.uniform,
         "design": sample.design,
     }
+    return base, position
 
 
 def _subset(observation, draw_indices: np.ndarray, induced: bool):

@@ -9,6 +9,12 @@ All walk samplers share the conventions:
   :meth:`NodeSample.thin` if desired);
 * per-draw weights are the design's stationary weights, enabling the
   Hansen-Hurwitz corrected estimators of Section 5.
+
+Replicated experiments should prefer :meth:`Sampler.sample_many`
+(:mod:`repro.sampling.batch`): it advances all replicate walkers as one
+vectorized frontier and is bit-for-bit equivalent to calling
+:meth:`sample` once per spawned replicate stream — the sequential
+kernels below are the reference semantics of that contract.
 """
 
 from __future__ import annotations
@@ -26,6 +32,33 @@ __all__ = [
     "WeightedRandomWalkSampler",
     "RandomWalkWithJumpsSampler",
 ]
+
+
+def _segmented_cumsum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-run inclusive cumulative sums of a CSR-aligned array.
+
+    Each adjacency run ``values[indptr[v]:indptr[v+1]]`` is scanned
+    independently (Hillis-Steele doubling: O(total * log max_degree),
+    fully vectorized). Summing locally instead of over one global
+    ``np.cumsum`` keeps next-hop selection exact: a global running sum
+    over all arcs loses the low bits of small weights that sit behind a
+    large accumulated prefix, which can mis-select neighbors on large
+    or weight-skewed graphs.
+    """
+    out = np.asarray(values, dtype=float).copy()
+    if len(out) == 0:
+        return out
+    lengths = np.diff(indptr)
+    position = np.arange(len(out), dtype=np.int64) - np.repeat(
+        indptr[:-1], lengths
+    )
+    max_length = int(lengths.max())
+    shift = 1
+    while shift < max_length:
+        idx = np.flatnonzero(position >= shift)
+        out[idx] += out[idx - shift]
+        shift <<= 1
+    return out
 
 
 class _WalkSampler(Sampler):
@@ -162,14 +195,19 @@ class WeightedRandomWalkSampler(_WalkSampler):
         if len(arc_weights) and arc_weights.min() <= 0:
             raise SamplingError("arc weights must be strictly positive")
         self._arc_weights = arc_weights
-        # Per-node cumulative weights for O(log d) next-hop sampling.
-        self._cumulative = np.cumsum(arc_weights)
-        self._strength = np.zeros(graph.num_nodes)
-        np.add.at(
-            self._strength,
-            np.repeat(np.arange(graph.num_nodes), graph.degrees()),
-            arc_weights,
-        )
+        # Per-run *local* cumulative weights for O(log d) next-hop
+        # sampling. Local (not global) sums keep the inverse-CDF lookup
+        # exact on graphs whose total arc weight dwarfs individual run
+        # weights; see _segmented_cumsum.
+        self._local_cumulative = _segmented_cumsum(arc_weights, graph.indptr)
+        degrees = graph.degrees()
+        if len(arc_weights):
+            run_ends = np.maximum(graph.indptr[1:] - 1, 0)
+            self._strength = np.where(
+                degrees > 0, self._local_cumulative[run_ends], 0.0
+            )
+        else:
+            self._strength = np.zeros(graph.num_nodes)
 
     @property
     def design(self) -> str:
@@ -186,7 +224,7 @@ class WeightedRandomWalkSampler(_WalkSampler):
         self._check_size(n)
         gen = ensure_rng(rng)
         indptr, indices = self._graph.indptr, self._graph.indices
-        cumulative = self._cumulative
+        cumulative = self._local_cumulative
         total = n + self._burn_in
         out = np.empty(total, dtype=np.int64)
         current = self._initial_node(gen)
@@ -195,8 +233,7 @@ class WeightedRandomWalkSampler(_WalkSampler):
             lo, hi = indptr[current], indptr[current + 1]
             if hi == lo:
                 raise SamplingError(f"weighted walk reached isolated node {current}")
-            base = cumulative[lo - 1] if lo > 0 else 0.0
-            target = base + randoms[i] * (cumulative[hi - 1] - base)
+            target = randoms[i] * self._strength[current]
             pos = int(np.searchsorted(cumulative[lo:hi], target, side="right"))
             pos = min(pos, hi - lo - 1)
             current = int(indices[lo + pos])

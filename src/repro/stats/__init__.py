@@ -3,6 +3,7 @@
 from repro.stats.compare import CategoryGraphComparison, compare_category_graphs
 from repro.stats.errors import nrmse, nrmse_stack, relative_error
 from repro.stats.percentiles import percentile_edge, positive_weight_pairs
+from repro.stats.prefix import IncrementalPrefixLadder, RungEstimates
 from repro.stats.replication import (
     SweepResult,
     run_nrmse_sweep,
@@ -18,6 +19,8 @@ __all__ = [
     "percentile_edge",
     "positive_weight_pairs",
     "SweepResult",
+    "IncrementalPrefixLadder",
+    "RungEstimates",
     "run_nrmse_sweep",
     "run_nrmse_sweep_from_samples",
 ]

@@ -5,12 +5,29 @@ samples (or take R independent walks), truncate each to a ladder of
 sample sizes (a crawl's prefix *is* a shorter crawl), run all four
 estimator families on each truncation, and reduce to element-wise NRMSE
 (Eq. 17) across the replications.
+
+Performance architecture
+------------------------
+Both hot phases run on fast paths by default, each with a slow
+reference twin kept for equivalence testing and benchmarking:
+
+* **Sampling** — ``engine="batched"`` draws all R replicates through
+  :meth:`~repro.sampling.base.Sampler.sample_many`, which advances walk
+  designs as one vectorized frontier (:mod:`repro.sampling.batch`);
+  ``engine="sequential"`` is the seed per-replicate loop. The two are
+  bit-for-bit identical per replicate stream.
+* **The ladder** — ``ladder="incremental"`` folds each rung's new draws
+  into running prefix aggregates
+  (:class:`~repro.stats.prefix.IncrementalPrefixLadder`);
+  ``ladder="subset"`` re-subsets every rung from scratch via
+  ``subset_draws``. Again bit-for-bit identical estimates.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -24,6 +41,7 @@ from repro.rng import ensure_rng, spawn_rngs
 from repro.sampling.base import NodeSample, Sampler
 from repro.sampling.observation import observe_induced, observe_star
 from repro.stats.errors import nrmse_stack
+from repro.stats.prefix import IncrementalPrefixLadder, RungEstimates
 
 __all__ = ["SweepResult", "run_nrmse_sweep", "run_nrmse_sweep_from_samples"]
 
@@ -80,32 +98,59 @@ class SweepResult:
 def run_nrmse_sweep(
     graph: Graph,
     partition: CategoryPartition,
-    sampler_factory: Callable[[], Sampler],
+    sampler_factory: "Callable[[], Sampler] | Sampler",
     sample_sizes: Sequence[int],
     replications: int,
     rng: "np.random.Generator | int | None" = None,
     weight_size_plugin: str = "star",
     mean_degree_model: str = "per-category",
+    engine: str = "batched",
+    ladder: str = "incremental",
 ) -> SweepResult:
     """Sweep NRMSE vs sample size with freshly drawn replicate samples.
 
     Parameters
     ----------
     sampler_factory:
-        Zero-argument callable creating the sampler (a fresh one per
-        replication, so walk starts differ).
+        The sampler, or a zero-argument callable creating it. Walk
+        starts still differ per replication: each replicate consumes its
+        own spawned RNG stream.
     weight_size_plugin:
         Which size estimates feed Eq. (9)/(16): ``"star"`` (paper
         default; falls back to induced for categories the star size
         estimator cannot resolve), ``"induced"``, or ``"true"``
         (oracle, for ablations).
+    engine:
+        ``"batched"`` (default) draws all replicates at once through
+        :meth:`~repro.sampling.base.Sampler.sample_many`;
+        ``"sequential"`` is the per-replicate reference loop. Replicate
+        trajectories are bit-for-bit identical either way.
+    ladder:
+        Forwarded to :func:`run_nrmse_sweep_from_samples`.
     """
     sizes = _validated_sizes(sample_sizes)
     gen = ensure_rng(rng)
-    samples = []
-    for stream in spawn_rngs(gen, replications):
-        sampler = sampler_factory()
-        samples.append(sampler.sample(int(sizes[-1]), rng=stream))
+    sampler_or_factory = sampler_factory
+    if engine == "batched":
+        sampler = (
+            sampler_or_factory
+            if isinstance(sampler_or_factory, Sampler)
+            else sampler_or_factory()
+        )
+        samples = list(sampler.sample_many(int(sizes[-1]), replications, rng=gen))
+    elif engine == "sequential":
+        samples = []
+        for stream in spawn_rngs(gen, replications):
+            sampler = (
+                sampler_or_factory
+                if isinstance(sampler_or_factory, Sampler)
+                else sampler_or_factory()
+            )
+            samples.append(sampler.sample(int(sizes[-1]), rng=stream))
+    else:
+        raise EstimationError(
+            f"unknown engine {engine!r}; use 'batched' or 'sequential'"
+        )
     return run_nrmse_sweep_from_samples(
         graph,
         partition,
@@ -113,6 +158,7 @@ def run_nrmse_sweep(
         sizes,
         weight_size_plugin=weight_size_plugin,
         mean_degree_model=mean_degree_model,
+        ladder=ladder,
     )
 
 
@@ -124,6 +170,7 @@ def run_nrmse_sweep_from_samples(
     weight_size_plugin: str = "star",
     mean_degree_model: str = "per-category",
     truth_mode: str = "exact",
+    ladder: str = "incremental",
 ) -> SweepResult:
     """Sweep NRMSE using pre-drawn replicate samples (e.g. crawl walks).
 
@@ -133,6 +180,10 @@ def run_nrmse_sweep_from_samples(
     convention — "we use as ground truth the average of estimation over
     all samples" — scoring each estimator kind against the average of
     its own full-length estimates, which measures variance but not bias.
+
+    ``ladder="incremental"`` (default) computes each rung as a delta
+    update of running prefix aggregates; ``ladder="subset"`` re-subsets
+    every rung via ``subset_draws``. Estimates are bit-for-bit identical.
     """
     sizes = _validated_sizes(sample_sizes)
     if not samples:
@@ -147,6 +198,10 @@ def run_nrmse_sweep_from_samples(
         )
     if truth_mode not in ("exact", "cross-sample"):
         raise EstimationError(f"unknown truth_mode {truth_mode!r}")
+    if ladder not in ("incremental", "subset"):
+        raise EstimationError(
+            f"unknown ladder {ladder!r}; use 'incremental' or 'subset'"
+        )
     truth = true_category_graph(graph, partition)
     n_pop = graph.num_nodes
     c = partition.num_categories
@@ -156,27 +211,17 @@ def run_nrmse_sweep_from_samples(
     weight_stacks = {kind: np.full((r, k, c, c), np.nan) for kind in KINDS}
 
     for rep, sample in enumerate(samples):
-        star_full = observe_star(graph, partition, sample)
-        induced_full = observe_induced(graph, partition, sample)
-        for si, size in enumerate(sizes):
-            prefix = np.arange(size)
-            star_obs = star_full.subset_draws(prefix)
-            induced_obs = induced_full.subset_draws(prefix)
-            sizes_induced = estimate_sizes_induced(induced_obs, n_pop)
-            sizes_star = estimate_sizes_star(
-                star_obs, n_pop, mean_degree_model=mean_degree_model
-            )
-            size_stacks["induced"][rep, si] = sizes_induced
-            size_stacks["star"][rep, si] = sizes_star
-            weight_stacks["induced"][rep, si] = estimate_weights_induced(
-                induced_obs
-            )
+        rungs = _ladder_rungs(
+            graph, partition, sample, sizes, ladder, n_pop, mean_degree_model
+        )
+        for si, rung in enumerate(rungs):
+            size_stacks["induced"][rep, si] = rung.sizes_induced
+            size_stacks["star"][rep, si] = rung.sizes_star
+            weight_stacks["induced"][rep, si] = rung.weights_induced
             plugin = _plugin_sizes(
-                weight_size_plugin, sizes_star, sizes_induced, truth
+                weight_size_plugin, rung.sizes_star, rung.sizes_induced, truth
             )
-            weight_stacks["star"][rep, si] = estimate_weights_star(
-                star_obs, plugin
-            )
+            weight_stacks["star"][rep, si] = rung.weights_star(plugin)
 
     size_nrmse, size_cov, weight_nrmse, weight_cov = {}, {}, {}, {}
     for kind in KINDS:
@@ -215,6 +260,39 @@ def run_nrmse_sweep_from_samples(
         weight_coverage=weight_cov,
         truth=truth,
     )
+
+
+def _ladder_rungs(
+    graph: Graph,
+    partition: CategoryPartition,
+    sample: NodeSample,
+    sizes: np.ndarray,
+    ladder: str,
+    n_pop: float,
+    mean_degree_model: str,
+):
+    """Yield :class:`~repro.stats.prefix.RungEstimates` per ladder rung."""
+    if ladder == "incremental":
+        incremental = IncrementalPrefixLadder(graph, partition, sample)
+        for size in sizes:
+            yield incremental.estimates(
+                int(size), n_pop, mean_degree_model=mean_degree_model
+            )
+    else:
+        star_full = observe_star(graph, partition, sample)
+        induced_full = observe_induced(graph, partition, sample)
+        for size in sizes:
+            prefix = np.arange(int(size))
+            star_obs = star_full.subset_draws(prefix)
+            induced_obs = induced_full.subset_draws(prefix)
+            yield RungEstimates(
+                sizes_induced=estimate_sizes_induced(induced_obs, n_pop),
+                sizes_star=estimate_sizes_star(
+                    star_obs, n_pop, mean_degree_model=mean_degree_model
+                ),
+                weights_induced=estimate_weights_induced(induced_obs),
+                weights_star=partial(estimate_weights_star, star_obs),
+            )
 
 
 def _plugin_sizes(

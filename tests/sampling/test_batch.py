@@ -1,0 +1,203 @@
+"""Batched-vs-sequential equivalence for the multi-walker engine.
+
+The contract under test (see ``repro.sampling.batch``): replicate ``r``
+of ``sample_many(n, R, rng)`` is bit-for-bit identical to
+``sampler.sample(n, rng=spawn_rngs(rng, R)[r])`` — same trajectory,
+same weights — for every design, including burn-in and fixed starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.generators import gnm, planted_category_graph
+from repro.graph import Graph
+from repro.rng import ensure_rng, spawn_rngs
+from repro.sampling import (
+    BatchNodeSample,
+    MetropolisHastingsSampler,
+    NodeSample,
+    RandomWalkSampler,
+    RandomWalkWithJumpsSampler,
+    StratifiedWeightedWalkSampler,
+    UniformIndependenceSampler,
+    WeightedRandomWalkSampler,
+    sample_many,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_graph() -> Graph:
+    return gnm(300, 1800, rng=0)
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_category_graph(k=8, scale=40, rng=0)
+
+
+def _arc_weights(graph: Graph) -> np.ndarray:
+    return np.abs(np.sin(np.arange(len(graph.indices)))) + 0.5
+
+
+def _assert_batch_equals_sequential(sampler, n, replications, seed):
+    batch = sampler.sample_many(n, replications, rng=seed)
+    assert isinstance(batch, BatchNodeSample)
+    assert batch.num_replicates == replications
+    assert batch.draws_per_replicate == n
+    streams = spawn_rngs(ensure_rng(seed), replications)
+    for r, stream in enumerate(streams):
+        sequential = sampler.sample(n, rng=stream)
+        replicate = batch.replicate(r)
+        assert isinstance(replicate, NodeSample)
+        assert np.array_equal(sequential.nodes, replicate.nodes), (
+            f"trajectory mismatch in replicate {r}"
+        )
+        assert np.array_equal(sequential.weights, replicate.weights), (
+            f"weight mismatch in replicate {r}"
+        )
+        assert sequential.design == replicate.design
+        assert sequential.uniform == replicate.uniform
+
+
+class TestTrajectoryEquivalence:
+    def test_rw(self, medium_graph):
+        _assert_batch_equals_sequential(
+            RandomWalkSampler(medium_graph), 500, 8, seed=1
+        )
+
+    def test_mhrw(self, medium_graph):
+        _assert_batch_equals_sequential(
+            MetropolisHastingsSampler(medium_graph), 500, 8, seed=2
+        )
+
+    def test_wrw(self, medium_graph):
+        sampler = WeightedRandomWalkSampler(
+            medium_graph, _arc_weights(medium_graph)
+        )
+        _assert_batch_equals_sequential(sampler, 500, 8, seed=3)
+
+    def test_rwj(self, medium_graph):
+        _assert_batch_equals_sequential(
+            RandomWalkWithJumpsSampler(medium_graph, alpha=4.0), 500, 8, seed=4
+        )
+
+    def test_swrw_subclass_uses_wrw_kernel(self, planted):
+        graph, partition = planted
+        sampler = StratifiedWeightedWalkSampler(graph, partition)
+        _assert_batch_equals_sequential(sampler, 400, 6, seed=5)
+
+    def test_burn_in(self, medium_graph):
+        _assert_batch_equals_sequential(
+            RandomWalkSampler(medium_graph, burn_in=17), 300, 5, seed=6
+        )
+
+    def test_fixed_start(self, medium_graph):
+        _assert_batch_equals_sequential(
+            RandomWalkSampler(medium_graph, start=7), 300, 5, seed=7
+        )
+
+    def test_fallback_design(self, medium_graph):
+        # Non-walk designs go through the sequential fallback but keep
+        # the same per-stream contract.
+        _assert_batch_equals_sequential(
+            UniformIndependenceSampler(medium_graph), 200, 4, seed=8
+        )
+
+    def test_module_level_entry_point(self, medium_graph):
+        sampler = RandomWalkSampler(medium_graph)
+        a = sample_many(sampler, 100, 3, rng=9)
+        b = sampler.sample_many(100, 3, rng=9)
+        assert np.array_equal(a.nodes, b.nodes)
+
+    def test_deterministic_given_seed(self, medium_graph):
+        sampler = MetropolisHastingsSampler(medium_graph)
+        a = sampler.sample_many(200, 4, rng=11)
+        b = sampler.sample_many(200, 4, rng=11)
+        assert np.array_equal(a.nodes, b.nodes)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestBatchNodeSample:
+    def test_replicates_are_views(self, medium_graph):
+        batch = RandomWalkSampler(medium_graph).sample_many(100, 4, rng=0)
+        rep = batch.replicate(2)
+        assert np.shares_memory(rep.nodes, batch.nodes)
+        assert np.shares_memory(rep.weights, batch.weights)
+
+    def test_iteration_and_len(self, medium_graph):
+        batch = RandomWalkSampler(medium_graph).sample_many(50, 3, rng=0)
+        reps = list(batch)
+        assert len(batch) == 3
+        assert len(reps) == 3
+        assert all(r.size == 50 for r in reps)
+        assert [r.nodes.tolist() for r in reps] == [
+            r.nodes.tolist() for r in batch.replicates()
+        ]
+
+    def test_replicate_out_of_range(self, medium_graph):
+        batch = RandomWalkSampler(medium_graph).sample_many(50, 3, rng=0)
+        with pytest.raises(SamplingError):
+            batch.replicate(3)
+        with pytest.raises(SamplingError):
+            batch.replicate(-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(SamplingError):
+            BatchNodeSample(np.zeros(3, dtype=np.int64), np.ones(3))
+        with pytest.raises(SamplingError):
+            BatchNodeSample(
+                np.zeros((2, 3), dtype=np.int64), np.ones((2, 4))
+            )
+
+    def test_bad_replications(self, medium_graph):
+        sampler = RandomWalkSampler(medium_graph)
+        with pytest.raises(SamplingError):
+            sampler.sample_many(10, 0)
+        with pytest.raises(SamplingError):
+            sampler.sample_many(0, 4)
+
+
+class TestWrwLocalCumsum:
+    def test_huge_foreign_weights_do_not_break_selection(self):
+        """Per-run local sums stay exact under extreme weight skew.
+
+        With one global cumulative sum, a 2**53 weight on an unrelated
+        edge absorbs the +1.0-sized increments of later runs, collapsing
+        their inverse-CDF lookup onto a single neighbor. Local sums are
+        immune.
+        """
+        graph = Graph.from_edges(5, [(0, 1), (2, 3), (2, 4)])
+        arc_weights = np.ones(len(graph.indices))
+        src = graph.arc_sources
+        for i in range(len(arc_weights)):
+            u, v = int(src[i]), int(graph.indices[i])
+            if {u, v} == {0, 1}:
+                arc_weights[i] = 2.0**53
+        sampler = WeightedRandomWalkSampler(graph, arc_weights, start=2)
+        sample = sampler.sample(2000, rng=0)
+        visited = set(int(v) for v in sample.nodes)
+        # From node 2 both equal-weight neighbors must be reachable.
+        assert {3, 4} <= visited
+
+    def test_local_cumulative_matches_per_run_cumsum(self):
+        graph = gnm(50, 200, rng=1)
+        weights = np.abs(np.cos(np.arange(len(graph.indices)))) + 0.25
+        sampler = WeightedRandomWalkSampler(graph, weights)
+        indptr = graph.indptr
+        for v in range(graph.num_nodes):
+            lo, hi = indptr[v], indptr[v + 1]
+            if hi > lo:
+                np.testing.assert_allclose(
+                    sampler._local_cumulative[lo:hi],
+                    np.cumsum(weights[lo:hi]),
+                    rtol=1e-12,
+                )
+
+    def test_strengths_equal_run_totals(self):
+        graph = gnm(40, 120, rng=2)
+        weights = np.full(len(graph.indices), 3.0)
+        sampler = WeightedRandomWalkSampler(graph, weights)
+        assert np.allclose(sampler.strengths, 3.0 * graph.degrees())
