@@ -23,12 +23,15 @@ from repro.graph.operations import (
     largest_component,
 )
 from repro.graph.partition import CategoryPartition
+from repro.graph.union import UnionCSR, union_csr
 
 __all__ = [
     "Graph",
     "GraphBuilder",
     "CategoryGraph",
     "CategoryPartition",
+    "UnionCSR",
+    "union_csr",
     "cut_matrix",
     "true_category_graph",
     "connected_components",

@@ -1,0 +1,190 @@
+"""Union-multigraph CSR over several relations on one node set.
+
+The multigraph random walk of Gjoka et al. [19] crawls the *union* of
+several relations (friendship, co-membership, event attendance, ...)
+over the same users, keeping parallel edges: a pair connected in two
+relations is twice as likely to be traversed. :class:`UnionCSR` merges
+the relations' individual CSR arrays into one multigraph CSR so that
+next-hop selection becomes a single gather instead of a per-relation
+scan — the representation behind both the sequential
+:class:`~repro.sampling.multigraph.MultigraphRandomWalkSampler` and its
+batched frontier kernel (:mod:`repro.sampling.batch`).
+
+Layout contract
+---------------
+Node ``v``'s arcs are the concatenation, **in relation order**, of each
+relation's (sorted) adjacency run. Stub ``k`` of node ``v`` therefore is
+``indices[indptr[v] + k]`` — exactly the arc the relation-scan
+formulation of the multigraph walk resolves stub ``k`` to, which is what
+makes the union-CSR walk bit-for-bit identical to the scan walk for the
+same random variates.
+
+Instances are cached: :func:`union_csr` memoizes on the (immutable,
+hashable) relation graphs, so the R replicate samplers of a sweep share
+one merged representation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+
+__all__ = ["UnionCSR", "union_csr"]
+
+
+class UnionCSR:
+    """Immutable multigraph CSR merging several relations.
+
+    Parameters
+    ----------
+    graphs:
+        One or more :class:`Graph` instances over the *same* node set.
+        Parallel edges are kept (multigraph semantics).
+
+    Prefer :func:`union_csr` over direct construction — it caches the
+    merge per relation tuple.
+    """
+
+    __slots__ = (
+        "_graphs",
+        "_indptr",
+        "_indices",
+        "_arc_relations",
+        "_total_degrees",
+    )
+
+    def __init__(self, graphs: Sequence[Graph]):
+        graphs = tuple(graphs)
+        if len(graphs) < 1:
+            raise GraphError("need at least one relation graph")
+        if not all(isinstance(g, Graph) for g in graphs):
+            raise GraphError("all relations must be Graph instances")
+        num_nodes = graphs[0].num_nodes
+        if any(g.num_nodes != num_nodes for g in graphs):
+            raise GraphError("all relations must share one node set")
+        per_degrees = np.array([g.degrees() for g in graphs], dtype=np.int64)
+        total_degrees = per_degrees.sum(axis=0)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(total_degrees, out=indptr[1:])
+        num_arcs = int(indptr[-1])
+        indices = np.empty(num_arcs, dtype=np.int64)
+        arc_relations = np.empty(num_arcs, dtype=np.int64)
+        # Scatter each relation's arcs behind the arcs of the relations
+        # before it: `offset[v]` tracks where node v's next run lands.
+        offset = indptr[:-1].copy()
+        for rel, graph in enumerate(graphs):
+            deg = per_degrees[rel]
+            if not deg.any():
+                continue
+            within = np.arange(len(graph.indices), dtype=np.int64) - np.repeat(
+                graph.indptr[:-1], deg
+            )
+            dest = np.repeat(offset, deg) + within
+            indices[dest] = graph.indices
+            arc_relations[dest] = rel
+            offset += deg
+        self._graphs = graphs
+        self._indptr = indptr
+        self._indices = indices
+        self._arc_relations = arc_relations
+        self._total_degrees = total_degrees
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``N`` (shared by all relations)."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_relations(self) -> int:
+        """Number of merged relations."""
+        return len(self._graphs)
+
+    @property
+    def num_arcs(self) -> int:
+        """Total directed arcs (sum over relations; twice the edges)."""
+        return len(self._indices)
+
+    @property
+    def graphs(self) -> tuple[Graph, ...]:
+        """The merged relation graphs, in merge order."""
+        return self._graphs
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR offsets; run ``v`` spans ``indptr[v]:indptr[v+1]``."""
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only multigraph neighbor array (parallel arcs kept)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def arc_relations(self) -> np.ndarray:
+        """Relation id of every arc, aligned with :attr:`indices`."""
+        view = self._arc_relations.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def total_degrees(self) -> np.ndarray:
+        """Per-node degree summed over relations (the stationary weight)."""
+        view = self._total_degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def arc_sources(self) -> np.ndarray:
+        """Source node of every arc, aligned with :attr:`indices`."""
+        return np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), self._total_degrees
+        )
+
+    def arc_multiplicities(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct directed arcs and their multiplicities.
+
+        Returns ``(arcs, counts)`` where ``arcs`` is ``(m, 2)`` with rows
+        ``(u, v)`` and ``counts[i]`` is how many relations carry that
+        arc. Because every relation is symmetric, the multiplicity of
+        ``(u, v)`` always equals the multiplicity of ``(v, u)``.
+        """
+        pairs = np.column_stack((self.arc_sources(), self._indices))
+        if len(pairs) == 0:
+            return pairs, np.empty(0, dtype=np.int64)
+        arcs, counts = np.unique(pairs, axis=0, return_counts=True)
+        return arcs, counts
+
+    def __repr__(self) -> str:
+        return (
+            f"UnionCSR(num_nodes={self.num_nodes}, "
+            f"num_relations={self.num_relations}, num_arcs={self.num_arcs})"
+        )
+
+
+@lru_cache(maxsize=32)
+def _union_csr_cached(graphs: tuple[Graph, ...]) -> UnionCSR:
+    return UnionCSR(graphs)
+
+
+def union_csr(graphs: Sequence[Graph]) -> UnionCSR:
+    """The (cached) union-multigraph CSR of ``graphs``.
+
+    Memoized on the relation tuple — :class:`Graph` is immutable and
+    hashable — so repeated samplers over the same relations share one
+    merged representation instead of re-merging per construction.
+    """
+    graphs = tuple(graphs)
+    if not all(isinstance(g, Graph) for g in graphs):
+        raise GraphError("all relations must be Graph instances")
+    return _union_csr_cached(graphs)

@@ -1,7 +1,14 @@
 """Sampling designs and measurement scenarios (Section 3 of the paper)."""
 
+from repro.sampling.alias import AliasTables, build_alias_tables
 from repro.sampling.base import NodeSample, Sampler
-from repro.sampling.batch import BatchNodeSample, sample_many
+from repro.sampling.batch import (
+    BatchNodeSample,
+    is_registered,
+    register_kernel,
+    registered_kernel,
+    sample_many,
+)
 from repro.sampling.convergence import (
     autocorrelation,
     effective_sample_size,
@@ -35,6 +42,11 @@ __all__ = [
     "Sampler",
     "BatchNodeSample",
     "sample_many",
+    "register_kernel",
+    "registered_kernel",
+    "is_registered",
+    "AliasTables",
+    "build_alias_tables",
     "UniformIndependenceSampler",
     "WeightedIndependenceSampler",
     "RandomWalkSampler",

@@ -1,0 +1,150 @@
+"""Walker alias tables for O(1) weighted next-hop sampling.
+
+The weighted walks (WRW and its S-WRW subclass) pick the next hop by
+inverse-CDF lookup over per-run local cumulative sums — O(log d) per
+step, and the dominant cost of the batched S-WRW kernel. An alias table
+[Walker 1977; Vose 1991] answers the same categorical draw in O(1):
+split each neighbor run into ``d`` equal-probability buckets, each
+holding at most two outcomes (the bucket's own arc and one *alias*
+arc), then a single uniform variate selects a bucket and which of the
+two outcomes to take.
+
+Tables are CSR-aligned: one table per adjacency run, flattened into two
+arrays the length of ``indices``. For arc slot ``a = indptr[v] + j``:
+
+* ``prob[a]`` — probability of keeping arc ``a`` itself given bucket
+  ``j`` was hit;
+* ``alias[a]`` — the **global arc id** taken otherwise (so the next-hop
+  gather is ``indices[alias[a]]``, no per-run re-indexing).
+
+A draw for node ``v`` with degree ``d`` consumes one uniform ``r``:
+
+>>> u = r * d; j = floor(u); a = indptr[v] + j
+>>> hop = indices[a] if (u - j) < prob[a] else indices[alias[a]]
+
+— the same single variate per step the binary search consumes, which
+keeps the RNG stream consumption pattern of the walk unchanged.
+
+Equivalence contract
+--------------------
+Alias draws map the uniform variate to neighbors *differently* than the
+inverse-CDF search, so trajectories differ draw-by-draw; the contract
+is **statistical**, not bitwise: for every node the alias table encodes
+exactly the probabilities ``w_j / strength(v)`` (up to float rounding in
+table construction), so the next-hop *distribution* is the binary
+search's. ``tests/sampling/test_equivalence.py`` enforces this with an
+exact per-run probability reconstruction plus a chi-square test on
+sampled next-hop frequencies. The batched alias kernel, in turn, is
+bit-for-bit identical to the sequential alias walk per RNG stream —
+the usual kernel contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+__all__ = ["AliasTables", "build_alias_tables"]
+
+
+@dataclass(frozen=True)
+class AliasTables:
+    """CSR-aligned alias tables, one per adjacency run.
+
+    Attributes
+    ----------
+    prob:
+        Keep-probability per arc slot, shape of ``indices``.
+    alias:
+        Global arc id of each slot's alias outcome, same shape. Slots
+        that never divert (probability-1 buckets) alias to themselves.
+    """
+
+    prob: np.ndarray
+    alias: np.ndarray
+
+    def reconstructed_probabilities(self, indptr: np.ndarray) -> np.ndarray:
+        """Per-arc selection probabilities implied by the tables.
+
+        For run ``v`` of degree ``d``, bucket ``j`` is hit with
+        probability ``1/d`` and contributes ``prob`` to its own arc and
+        ``1 - prob`` to its alias arc. Summing the contributions
+        recovers the encoded categorical distribution — used by the
+        equivalence tests to check the tables against
+        ``w_j / strength(v)`` exactly.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        degrees = np.diff(indptr)
+        inv_deg = np.zeros(len(degrees))
+        nonzero = degrees > 0
+        inv_deg[nonzero] = 1.0 / degrees[nonzero]
+        per_bucket = np.repeat(inv_deg, degrees)
+        out = per_bucket * self.prob
+        np.add.at(out, self.alias, per_bucket * (1.0 - self.prob))
+        return out
+
+
+def build_alias_tables(
+    indptr: np.ndarray,
+    arc_weights: np.ndarray,
+    strengths: np.ndarray | None = None,
+) -> AliasTables:
+    """Build per-run Walker alias tables for CSR-aligned arc weights.
+
+    Parameters
+    ----------
+    indptr:
+        CSR offsets delimiting the runs, shape ``(N + 1,)``.
+    arc_weights:
+        Strictly positive weight per arc, aligned with the CSR
+        ``indices`` (length ``indptr[-1]``).
+    strengths:
+        Optional per-run totals to normalize by — pass the walk's
+        precomputed strengths (the last entry of each run's local
+        cumulative sum) so the alias probabilities use the *same*
+        normalizer as the binary-search path. Recomputed per run when
+        omitted.
+
+    Construction is Vose's O(d) two-stack method per run — O(total
+    arcs) once per sampler, amortized over every subsequent O(1) draw.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    weights = np.asarray(arc_weights, dtype=float)
+    if weights.ndim != 1 or len(weights) != int(indptr[-1]):
+        raise SamplingError(
+            "arc_weights must be one-dimensional and aligned with indptr "
+            f"(expected length {int(indptr[-1])}, got {weights.shape})"
+        )
+    if len(weights) and weights.min() <= 0:
+        raise SamplingError("alias tables require strictly positive weights")
+    prob = np.ones(len(weights))
+    alias = np.arange(len(weights), dtype=np.int64)
+    for v in range(len(indptr) - 1):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        d = hi - lo
+        if d <= 1:
+            continue  # degree-1 runs keep the prob=1 self-alias default
+        total = float(strengths[v]) if strengths is not None else float(
+            weights[lo:hi].sum()
+        )
+        if total <= 0:
+            raise SamplingError(f"run {v} has non-positive total weight")
+        scaled = (weights[lo:hi] * (d / total)).tolist()
+        small = [j for j in range(d) if scaled[j] < 1.0]
+        large = [j for j in range(d) if scaled[j] >= 1.0]
+        while small and large:
+            s = small.pop()
+            big = large.pop()
+            prob[lo + s] = scaled[s]
+            alias[lo + s] = lo + big
+            scaled[big] -= 1.0 - scaled[s]
+            if scaled[big] < 1.0:
+                small.append(big)
+            else:
+                large.append(big)
+        # Leftover buckets (either stack, by float rounding) keep their
+        # initialized probability-1 self-alias.
+    return AliasTables(prob=prob, alias=alias)

@@ -17,13 +17,42 @@ each stream in the same order the sequential sampler would (start draw,
 then the pre-drawn variate blocks). Every float comparison, truncation,
 and cumulative-sum lookup mirrors the sequential kernels exactly, so the
 batched trajectory of replicate ``r`` is **bit-for-bit identical** to
-``sampler.sample(n, rng=streams[r])``. ``tests/sampling/test_batch.py``
-enforces this for all four walk designs (and the S-WRW subclass).
+``sampler.sample(n, rng=streams[r])``.
+``tests/sampling/test_equivalence.py`` enforces this for *every*
+exported design — including the multigraph union-CSR walk and the
+alias-table weighted walks — and ``tests/sampling/test_batch.py`` digs
+into the walk kernels specifically.
 
-Designs without a batched kernel (independence designs, traversal
-baselines, the multigraph walk) fall back to the sequential per-stream
-loop but still return a :class:`BatchNodeSample`, so callers can treat
-every design uniformly.
+The kernel registry
+-------------------
+Which designs batch, and how, is an open registry rather than a
+hardcoded table. A *kernel* is a callable
+
+    ``kernel(sampler, n, streams) -> (nodes, weights)``
+
+returning two ``(R, n)`` arrays (replicate r's draws in row r), where
+``streams`` is the list of R spawned generators whose consumption
+pattern the kernel must mirror. Register one for your sampler class
+with :func:`register_kernel`::
+
+    from repro.sampling.batch import register_kernel
+
+    @register_kernel(MyWalkSampler)
+    def _my_kernel(sampler, n, streams):
+        ...
+        return nodes, weights
+
+Resolution follows the method-resolution order of the sampler's class,
+so subclasses inherit their parent's kernel automatically (S-WRW rides
+the WRW kernel this way) and can override it with their own
+registration. Registering ``None`` declares an *explicit* sequential
+fallback — the design is stated to have no vectorizable frontier (the
+without-replacement traversal baselines, the independence designs) and
+``sample_many`` runs the per-stream loop without probing further.
+Unregistered designs fall back the same way, so callers can treat every
+design uniformly; :func:`registered_kernel` reports the kernel in use
+and :func:`is_registered` distinguishes a declared fallback from a
+design the registry has never heard of.
 """
 
 from __future__ import annotations
@@ -35,15 +64,21 @@ import numpy as np
 from repro.exceptions import SamplingError
 from repro.rng import ensure_rng, spawn_rngs
 from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.multigraph import MultigraphRandomWalkSampler
 from repro.sampling.walks import (
     MetropolisHastingsSampler,
     RandomWalkSampler,
     RandomWalkWithJumpsSampler,
     WeightedRandomWalkSampler,
-    _WalkSampler,
 )
 
-__all__ = ["BatchNodeSample", "sample_many"]
+__all__ = [
+    "BatchNodeSample",
+    "sample_many",
+    "register_kernel",
+    "registered_kernel",
+    "is_registered",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +159,75 @@ class BatchNodeSample:
         )
 
 
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+_UNSET = object()
+
+#: sampler class -> kernel callable, or None for an explicit fallback.
+_KERNELS: dict[type, object] = {}
+
+
+def register_kernel(sampler_type: type, kernel: object = _UNSET):
+    """Register a batched frontier kernel for a :class:`Sampler` class.
+
+    ``kernel(sampler, n, streams)`` must return ``(nodes, weights)`` as
+    ``(R, n)`` arrays whose row ``r`` is bit-for-bit what
+    ``sampler.sample(n, rng=streams[r])`` would produce. Pass ``None``
+    to declare an explicit sequential fallback. With the kernel
+    argument omitted, acts as a decorator::
+
+        @register_kernel(MySampler)
+        def _my_kernel(sampler, n, streams): ...
+
+    Resolution is MRO-based (most-derived registration wins), so
+    subclasses inherit kernels and may re-register to override.
+    """
+    if not (isinstance(sampler_type, type) and issubclass(sampler_type, Sampler)):
+        raise SamplingError(
+            f"register_kernel needs a Sampler subclass, got {sampler_type!r}"
+        )
+    if kernel is _UNSET:
+        def decorator(fn):
+            _KERNELS[sampler_type] = fn
+            return fn
+
+        return decorator
+    if kernel is not None and not callable(kernel):
+        raise SamplingError("kernel must be callable or None")
+    _KERNELS[sampler_type] = kernel
+    return kernel
+
+
+def registered_kernel(sampler: Sampler):
+    """The kernel ``sample_many`` will use for ``sampler``.
+
+    Walks the sampler's MRO and returns the first registration found —
+    a kernel callable, or ``None`` when the design runs the sequential
+    per-stream fallback. ``None`` covers both an explicit fallback
+    registration and a design nobody registered; use
+    :func:`is_registered` to tell the two apart.
+    """
+    for cls in type(sampler).__mro__:
+        if cls in _KERNELS:
+            return _KERNELS[cls]
+    return None
+
+
+def is_registered(sampler_type: type) -> bool:
+    """Whether ``sampler_type`` (or an ancestor) made a registration.
+
+    True for designs with a batch kernel *and* for designs that
+    explicitly declared the sequential fallback (``register_kernel(cls,
+    None)``); False only for designs the registry has never heard of —
+    i.e. ports that were never considered, as opposed to decided
+    against.
+    """
+    if not isinstance(sampler_type, type):
+        sampler_type = type(sampler_type)
+    return any(cls in _KERNELS for cls in sampler_type.__mro__)
+
+
 def sample_many(
     sampler: Sampler,
     n: int,
@@ -132,9 +236,10 @@ def sample_many(
 ) -> BatchNodeSample:
     """Draw ``replications`` independent samples of size ``n`` at once.
 
-    Walk designs (RW, MHRW, WRW/S-WRW, RWJ) advance as one vectorized
-    frontier; every other design falls back to a sequential per-stream
-    loop. Either way replicate ``r`` equals
+    Designs with a registered kernel (RW, MHRW, WRW/S-WRW with either
+    next-hop engine, RWJ, the multigraph union-CSR walk) advance as one
+    vectorized frontier; every other design falls back to a sequential
+    per-stream loop. Either way replicate ``r`` equals
     ``sampler.sample(n, rng=spawn_rngs(rng, R)[r])`` bit for bit.
     """
     if replications < 1:
@@ -144,27 +249,13 @@ def sample_many(
     sampler._check_size(n)
     gen = ensure_rng(rng)
     streams = spawn_rngs(gen, replications)
-    if isinstance(sampler, _WalkSampler):
-        kernel = _KERNELS.get(_kernel_key(sampler))
-        if kernel is not None:
-            nodes, weights = kernel(sampler, n, streams)
-            return BatchNodeSample(
-                nodes, weights, design=sampler.design, uniform=sampler.uniform
-            )
+    kernel = registered_kernel(sampler)
+    if kernel is not None:
+        nodes, weights = kernel(sampler, n, streams)
+        return BatchNodeSample(
+            nodes, weights, design=sampler.design, uniform=sampler.uniform
+        )
     return _stack_sequential(sampler, n, streams)
-
-
-def _kernel_key(sampler: _WalkSampler) -> type | None:
-    """Most-derived known kernel class (S-WRW reuses the WRW kernel)."""
-    for cls in (
-        MetropolisHastingsSampler,
-        RandomWalkWithJumpsSampler,
-        WeightedRandomWalkSampler,
-        RandomWalkSampler,
-    ):
-        if isinstance(sampler, cls):
-            return cls
-    return None
 
 
 def _stack_sequential(
@@ -184,21 +275,27 @@ def _stack_sequential(
 # Shared frontier plumbing
 # ----------------------------------------------------------------------
 def _frontier_setup(
-    sampler: _WalkSampler, streams: list[np.random.Generator], blocks: int, total: int
+    sampler: Sampler,
+    streams: list[np.random.Generator],
+    blocks: int,
+    total: int,
+    candidates: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Starts and pre-drawn variates, consuming each stream sequentially.
 
     Returns ``(starts, rand)`` with ``rand`` of shape
     ``(blocks, total, R)``: per stream, the start draw first, then
     ``blocks`` consecutive ``random(total)`` blocks — the exact
-    consumption order of the sequential samplers.
+    consumption order of the sequential samplers. ``candidates`` are the
+    valid random-start nodes (default: positive-degree nodes of the
+    sampler's graph; the multigraph kernel passes positive
+    *total*-degree nodes instead).
     """
-    graph = sampler._graph
     replications = len(streams)
     starts = np.empty(replications, dtype=np.int64)
     rand = np.empty((blocks, total, replications))
-    if sampler._start is None:
-        candidates = np.flatnonzero(graph.degrees() > 0)
+    if sampler._start is None and candidates is None:
+        candidates = np.flatnonzero(sampler._graph.degrees() > 0)
     for r, stream in enumerate(streams):
         if sampler._start is not None:
             starts[r] = sampler._start
@@ -209,9 +306,21 @@ def _frontier_setup(
     return starts, rand
 
 
-def _check_frontier_degrees(deg: np.ndarray, cur: np.ndarray, design: str) -> None:
-    if np.any(deg == 0):
-        node = int(cur[int(np.argmax(deg == 0))])
+def _isolated_mask(degrees: np.ndarray) -> np.ndarray | None:
+    """Boolean isolated-node mask, or ``None`` when no node is isolated.
+
+    Precomputed once per kernel run so the per-step dead-walker check is
+    a single boolean gather (and, on the common all-connected graphs,
+    skipped entirely) instead of a per-step degree gather.
+    """
+    mask = degrees == 0
+    return mask if bool(mask.any()) else None
+
+
+def _check_frontier(isolated: np.ndarray, cur: np.ndarray, design: str) -> None:
+    hit = isolated[cur]
+    if np.any(hit):
+        node = int(cur[int(np.argmax(hit))])
         raise SamplingError(f"{design} reached isolated node {node}")
 
 
@@ -225,13 +334,12 @@ def _rw_kernel(sampler, n, streams):
     total = n + sampler._burn_in
     cur, rand = _frontier_setup(sampler, streams, 1, total)
     step_rand = rand[0]
-    any_isolated = bool(np.any(degrees == 0))
+    isolated = _isolated_mask(degrees)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
-        deg = degrees[cur]
-        if any_isolated:
-            _check_frontier_degrees(deg, cur, "random walk")
-        cur = indices[indptr[cur] + (step_rand[i] * deg).astype(np.int64)]
+        if isolated is not None:
+            _check_frontier(isolated, cur, "random walk")
+        cur = indices[indptr[cur] + (step_rand[i] * degrees[cur]).astype(np.int64)]
         out[i] = cur
     nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
     return nodes, degrees[nodes].astype(float)
@@ -244,12 +352,12 @@ def _mhrw_kernel(sampler, n, streams):
     total = n + sampler._burn_in
     cur, rand = _frontier_setup(sampler, streams, 2, total)
     proposal_rand, accept_rand = rand[0], rand[1]
-    any_isolated = bool(np.any(degrees == 0))
+    isolated = _isolated_mask(degrees)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
+        if isolated is not None:
+            _check_frontier(isolated, cur, "MHRW")
         deg = degrees[cur]
-        if any_isolated:
-            _check_frontier_degrees(deg, cur, "MHRW")
         proposal = indices[
             indptr[cur] + (proposal_rand[i] * deg).astype(np.int64)
         ]
@@ -261,20 +369,26 @@ def _mhrw_kernel(sampler, n, streams):
 
 
 def _wrw_kernel(sampler, n, streams):
+    """WRW/S-WRW dispatch: the sampler's next-hop engine picks the kernel."""
+    if sampler.next_hop == "alias":
+        return _wrw_alias_kernel(sampler, n, streams)
+    return _wrw_search_kernel(sampler, n, streams)
+
+
+def _wrw_search_kernel(sampler, n, streams):
     graph = sampler._graph
     indptr, indices = graph.indptr, graph.indices
-    degrees = graph.degrees()
     cumulative = sampler._local_cumulative
     strength = sampler._strength
     total = n + sampler._burn_in
     cur, rand = _frontier_setup(sampler, streams, 1, total)
     step_rand = rand[0]
-    any_isolated = bool(np.any(degrees == 0))
+    isolated = _isolated_mask(graph.degrees())
     last = max(len(cumulative) - 1, 0)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
-        if any_isolated:
-            _check_frontier_degrees(degrees[cur], cur, "weighted walk")
+        if isolated is not None:
+            _check_frontier(isolated, cur, "weighted walk")
         lo, hi = indptr[cur], indptr[cur + 1]
         target = step_rand[i] * strength[cur]
         # Vectorized binary search: first j in [lo, hi) with
@@ -290,6 +404,37 @@ def _wrw_kernel(sampler, n, streams):
             left = np.where(go_right, mid + 1, left)
             right = np.where(active & ~go_right, mid, right)
         cur = indices[np.minimum(left, hi - 1)]
+        out[i] = cur
+    nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
+    return nodes, strength[nodes]
+
+
+def _wrw_alias_kernel(sampler, n, streams):
+    """O(1) next-hop WRW via per-run Walker alias tables.
+
+    Same variate consumption as the search kernel (one uniform per
+    step), but the uniform picks an equal-probability bucket and its
+    keep/alias outcome instead of driving a log(d) bisection — removing
+    the search loop's per-halving frontier-wide passes.
+    """
+    graph = sampler._graph
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+    strength = sampler._strength
+    prob = sampler._alias_tables.prob
+    alias = sampler._alias_tables.alias
+    total = n + sampler._burn_in
+    cur, rand = _frontier_setup(sampler, streams, 1, total)
+    step_rand = rand[0]
+    isolated = _isolated_mask(degrees)
+    out = np.empty((total, len(streams)), dtype=np.int64)
+    for i in range(total):
+        if isolated is not None:
+            _check_frontier(isolated, cur, "weighted walk")
+        u = step_rand[i] * degrees[cur]
+        j = u.astype(np.int64)
+        arc = indptr[cur] + j
+        cur = np.where(u - j < prob[arc], indices[arc], indices[alias[arc]])
         out[i] = cur
     nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
     return nodes, strength[nodes]
@@ -320,9 +465,40 @@ def _rwj_kernel(sampler, n, streams):
     return nodes, degrees[nodes].astype(float) + alpha
 
 
-_KERNELS = {
-    RandomWalkSampler: _rw_kernel,
-    MetropolisHastingsSampler: _mhrw_kernel,
-    WeightedRandomWalkSampler: _wrw_kernel,
-    RandomWalkWithJumpsSampler: _rwj_kernel,
-}
+def _multigraph_kernel(sampler, n, streams):
+    """Union-CSR frontier for the multigraph walk.
+
+    Steps on the merged multigraph CSR (:mod:`repro.graph.union`), whose
+    per-node relation-ordered arc layout resolves a stub index to the
+    same arc the sequential per-relation scan would — one gather per
+    step for the whole frontier.
+    """
+    union = sampler.union
+    indptr, indices = union.indptr, union.indices
+    degrees = union.total_degrees
+    cur, rand = _frontier_setup(
+        sampler,
+        streams,
+        1,
+        n,
+        candidates=(
+            None if sampler._start is not None else np.flatnonzero(degrees > 0)
+        ),
+    )
+    step_rand = rand[0]
+    isolated = _isolated_mask(degrees)
+    out = np.empty((n, len(streams)), dtype=np.int64)
+    for i in range(n):
+        if isolated is not None:
+            _check_frontier(isolated, cur, "multigraph walk")
+        cur = indices[indptr[cur] + (step_rand[i] * degrees[cur]).astype(np.int64)]
+        out[i] = cur
+    nodes = np.ascontiguousarray(out.T)
+    return nodes, degrees[nodes].astype(float)
+
+
+register_kernel(RandomWalkSampler, _rw_kernel)
+register_kernel(MetropolisHastingsSampler, _mhrw_kernel)
+register_kernel(WeightedRandomWalkSampler, _wrw_kernel)
+register_kernel(RandomWalkWithJumpsSampler, _rwj_kernel)
+register_kernel(MultigraphRandomWalkSampler, _multigraph_kernel)

@@ -12,6 +12,7 @@ from repro.exceptions import SamplingError
 from repro.graph.adjacency import Graph
 from repro.rng import ensure_rng
 from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.batch import register_kernel
 
 __all__ = ["UniformIndependenceSampler", "WeightedIndependenceSampler"]
 
@@ -96,3 +97,11 @@ class WeightedIndependenceSampler(Sampler):
         return NodeSample(
             nodes, self._weights[nodes], design=self.design, uniform=False
         )
+
+
+# The independence designs are a single vectorized generator call per
+# replicate already — the per-stream loop *is* their batch form. An
+# explicit fallback registration records that no frontier kernel is
+# missing here.
+register_kernel(UniformIndependenceSampler, None)
+register_kernel(WeightedIndependenceSampler, None)

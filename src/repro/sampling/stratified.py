@@ -62,6 +62,13 @@ class StratifiedWeightedWalkSampler(WeightedRandomWalkSampler):
         Stratification strength in ``[0, 1]``; ``0`` degenerates to RW,
         ``1`` (default) is full stratification (the paper's
         ``gamma = inf`` in its own parameterisation).
+    next_hop:
+        Next-hop engine, forwarded to
+        :class:`~repro.sampling.walks.WeightedRandomWalkSampler`:
+        ``"search"`` (default, exact inverse-CDF) or ``"alias"`` (O(1)
+        Walker alias tables, statistically equivalent). S-WRW inherits
+        the WRW batch kernel through the registry's MRO resolution, so
+        both engines are batched automatically.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class StratifiedWeightedWalkSampler(WeightedRandomWalkSampler):
         gamma: float = 1.0,
         start: int | None = None,
         burn_in: int = 0,
+        next_hop: str = "search",
     ):
         if partition.num_nodes != graph.num_nodes:
             raise SamplingError(
@@ -112,7 +120,9 @@ class StratifiedWeightedWalkSampler(WeightedRandomWalkSampler):
         importance_per_category = (category_weights / safe_hints) ** gamma
         omega = importance_per_category[partition.labels]
         arc_weights = _arc_weights_from_importance(graph, omega)
-        super().__init__(graph, arc_weights, start=start, burn_in=burn_in)
+        super().__init__(
+            graph, arc_weights, start=start, burn_in=burn_in, next_hop=next_hop
+        )
         self._partition = partition
         self._omega = omega
         self._gamma = gamma

@@ -18,6 +18,7 @@ from repro.exceptions import SamplingError
 from repro.graph.adjacency import Graph
 from repro.rng import ensure_rng
 from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.batch import register_kernel
 
 __all__ = ["BreadthFirstSampler", "ForestFireSampler"]
 
@@ -151,3 +152,12 @@ class ForestFireSampler(Sampler):
                     break
         nodes = np.asarray(order[:n], dtype=np.int64)
         return NodeSample(nodes, np.ones(n), design=self.design, uniform=False)
+
+
+# Traversal designs are without-replacement frontier processes — the
+# visited set couples every step to the whole history, so no vectorized
+# multi-walker kernel exists. Declare the sequential fallback explicitly
+# so `registered_kernel` documents the decision instead of implying an
+# unported design.
+register_kernel(BreadthFirstSampler, None)
+register_kernel(ForestFireSampler, None)

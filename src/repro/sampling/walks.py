@@ -176,6 +176,14 @@ class WeightedRandomWalkSampler(_WalkSampler):
     must carry equal weight). The stationary probability of node ``v``
     is proportional to its *strength* (sum of incident edge weights),
     which becomes the draw weight.
+
+    ``next_hop`` selects the next-hop engine: ``"search"`` (default)
+    does an O(log d) inverse-CDF lookup over the per-run local
+    cumulative sums; ``"alias"`` answers the same categorical draw in
+    O(1) via per-run Walker alias tables (:mod:`repro.sampling.alias`).
+    Both consume one uniform variate per step, but map it to neighbors
+    differently, so the two engines are *statistically* (not bitwise)
+    equivalent — see the alias module's equivalence contract.
     """
 
     def __init__(
@@ -184,8 +192,13 @@ class WeightedRandomWalkSampler(_WalkSampler):
         arc_weights: np.ndarray,
         start: int | None = None,
         burn_in: int = 0,
+        next_hop: str = "search",
     ):
         super().__init__(graph, start=start, burn_in=burn_in)
+        if next_hop not in ("search", "alias"):
+            raise SamplingError(
+                f"unknown next_hop {next_hop!r}; use 'search' or 'alias'"
+            )
         arc_weights = np.asarray(arc_weights, dtype=float)
         if arc_weights.shape != graph.indices.shape:
             raise SamplingError(
@@ -208,10 +221,26 @@ class WeightedRandomWalkSampler(_WalkSampler):
             )
         else:
             self._strength = np.zeros(graph.num_nodes)
+        self._next_hop = next_hop
+        if next_hop == "alias":
+            from repro.sampling.alias import build_alias_tables
+
+            # Normalize by the same per-run strengths the binary search
+            # uses, so both engines encode identical probabilities.
+            self._alias_tables = build_alias_tables(
+                graph.indptr, arc_weights, self._strength
+            )
+        else:
+            self._alias_tables = None
 
     @property
     def design(self) -> str:
         return "wrw"
+
+    @property
+    def next_hop(self) -> str:
+        """Active next-hop engine (``"search"`` or ``"alias"``)."""
+        return self._next_hop
 
     @property
     def strengths(self) -> np.ndarray:
@@ -229,14 +258,27 @@ class WeightedRandomWalkSampler(_WalkSampler):
         out = np.empty(total, dtype=np.int64)
         current = self._initial_node(gen)
         randoms = gen.random(total)
+        use_alias = self._next_hop == "alias"
+        if use_alias:
+            prob = self._alias_tables.prob
+            alias = self._alias_tables.alias
         for i in range(total):
             lo, hi = indptr[current], indptr[current + 1]
             if hi == lo:
                 raise SamplingError(f"weighted walk reached isolated node {current}")
-            target = randoms[i] * self._strength[current]
-            pos = int(np.searchsorted(cumulative[lo:hi], target, side="right"))
-            pos = min(pos, hi - lo - 1)
-            current = int(indices[lo + pos])
+            if use_alias:
+                u = randoms[i] * (hi - lo)
+                j = int(u)
+                arc = lo + j
+                if u - j < prob[arc]:
+                    current = int(indices[arc])
+                else:
+                    current = int(indices[alias[arc]])
+            else:
+                target = randoms[i] * self._strength[current]
+                pos = int(np.searchsorted(cumulative[lo:hi], target, side="right"))
+                pos = min(pos, hi - lo - 1)
+                current = int(indices[lo + pos])
             out[i] = current
         nodes = out[self._burn_in :]
         return NodeSample(

@@ -1,0 +1,121 @@
+"""Tests for the union-multigraph CSR (`repro.graph.union`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generators import gnm
+from repro.graph import Graph, UnionCSR, union_csr
+
+
+@pytest.fixture(scope="module")
+def relations():
+    return (gnm(80, 300, rng=0), gnm(80, 150, rng=1), gnm(80, 40, rng=2))
+
+
+class TestConstruction:
+    def test_indptr_matches_total_degrees(self, relations):
+        union = UnionCSR(relations)
+        total = sum(g.degrees() for g in relations)
+        assert np.array_equal(np.diff(union.indptr), total)
+        assert np.array_equal(union.total_degrees, total)
+        assert union.num_arcs == int(total.sum())
+        assert union.num_relations == 3
+        assert union.num_nodes == 80
+
+    def test_runs_concatenate_in_relation_order(self, relations):
+        union = UnionCSR(relations)
+        for v in range(union.num_nodes):
+            run = union.indices[union.indptr[v] : union.indptr[v + 1]]
+            expected = np.concatenate([g.neighbors(v) for g in relations])
+            assert np.array_equal(run, expected), f"node {v}"
+
+    def test_arc_relations_align(self, relations):
+        union = UnionCSR(relations)
+        for rel, graph in enumerate(relations):
+            mask = union.arc_relations == rel
+            assert int(mask.sum()) == len(graph.indices)
+            # Arcs tagged with this relation reproduce its CSR exactly.
+            assert np.array_equal(union.indices[mask], graph.indices)
+
+    def test_single_relation_is_the_graph(self):
+        g = gnm(40, 100, rng=3)
+        union = UnionCSR([g])
+        assert np.array_equal(union.indptr, g.indptr)
+        assert np.array_equal(union.indices, g.indices)
+        assert np.all(union.arc_relations == 0)
+
+    def test_empty_relations_allowed(self):
+        union = UnionCSR([Graph.empty(5), Graph.empty(5)])
+        assert union.num_arcs == 0
+        assert np.all(union.total_degrees == 0)
+        arcs, counts = union.arc_multiplicities()
+        assert len(arcs) == 0 and len(counts) == 0
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(GraphError):
+            UnionCSR([gnm(10, 20, rng=0), gnm(11, 20, rng=0)])
+
+    def test_no_relations_rejected(self):
+        with pytest.raises(GraphError):
+            UnionCSR([])
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(GraphError):
+            union_csr([gnm(5, 4, rng=0), "not a graph"])
+
+
+class TestProperties:
+    def test_degree_sums_equal_relation_degree_sums(self, relations):
+        union = union_csr(relations)
+        assert np.array_equal(
+            union.total_degrees, sum(g.degrees() for g in relations)
+        )
+
+    def test_arc_multiplicities_symmetric(self, relations):
+        union = union_csr(relations)
+        arcs, counts = union.arc_multiplicities()
+        table = {(int(u), int(v)): int(c) for (u, v), c in zip(arcs, counts)}
+        for (u, v), c in table.items():
+            assert table[(v, u)] == c, f"arc ({u}, {v})"
+
+    def test_multiplicity_counts_relations_carrying_the_edge(self):
+        shared = Graph.from_edges(3, [(0, 1)])
+        extra = Graph.from_edges(3, [(0, 1), (0, 2)])
+        union = union_csr((shared, extra))
+        arcs, counts = union.arc_multiplicities()
+        table = {(int(u), int(v)): int(c) for (u, v), c in zip(arcs, counts)}
+        assert table[(0, 1)] == 2 and table[(1, 0)] == 2
+        assert table[(0, 2)] == 1 and table[(2, 0)] == 1
+
+    def test_arc_sources_align_with_indptr(self, relations):
+        union = union_csr(relations)
+        src = union.arc_sources()
+        for v in range(union.num_nodes):
+            assert np.all(src[union.indptr[v] : union.indptr[v + 1]] == v)
+
+
+class TestCache:
+    def test_same_relation_tuple_shares_instance(self, relations):
+        assert union_csr(relations) is union_csr(relations)
+        assert union_csr(list(relations)) is union_csr(relations)
+
+    def test_different_order_is_a_different_multigraph(self, relations):
+        a = union_csr(relations)
+        b = union_csr(relations[::-1])
+        assert a is not b
+        # Same total degrees, different arc layout (relation order).
+        assert np.array_equal(a.total_degrees, b.total_degrees)
+
+    def test_views_are_read_only(self, relations):
+        union = union_csr(relations)
+        for array in (
+            union.indptr,
+            union.indices,
+            union.arc_relations,
+            union.total_degrees,
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0

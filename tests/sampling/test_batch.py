@@ -160,6 +160,51 @@ class TestBatchNodeSample:
             sampler.sample_many(0, 4)
 
 
+class TestIsolatedNodeHandling:
+    """The kernels' per-step dead-walker check runs off a precomputed
+    isolated-node mask (no per-step degree gather) — and is skipped
+    entirely on graphs with no isolated nodes."""
+
+    @pytest.fixture()
+    def graph_with_isolate(self) -> Graph:
+        # Node 4 is isolated; 0..3 form a cycle.
+        return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_isolated_mask_helper(self):
+        from repro.sampling.batch import _isolated_mask
+
+        assert _isolated_mask(np.array([1, 2, 3])) is None
+        mask = _isolated_mask(np.array([1, 0, 2, 0]))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_batch_raises_on_isolated_start(self, graph_with_isolate):
+        sampler = RandomWalkSampler(graph_with_isolate, start=4)
+        with pytest.raises(SamplingError, match="isolated node 4"):
+            sampler.sample(5, rng=0)
+        with pytest.raises(SamplingError, match="isolated node 4"):
+            sampler.sample_many(5, 3, rng=0)
+
+    def test_wrw_batch_raises_on_isolated_start(self, graph_with_isolate):
+        weights = np.ones(len(graph_with_isolate.indices))
+        for next_hop in ("search", "alias"):
+            sampler = WeightedRandomWalkSampler(
+                graph_with_isolate, weights, start=4, next_hop=next_hop
+            )
+            with pytest.raises(SamplingError, match="isolated node 4"):
+                sampler.sample_many(5, 3, rng=0)
+
+    def test_random_starts_avoid_isolates_and_stay_bit_equal(
+        self, graph_with_isolate
+    ):
+        # Exercises the active mask-check branch on every step.
+        _assert_batch_equals_sequential(
+            RandomWalkSampler(graph_with_isolate), 50, 6, seed=13
+        )
+        _assert_batch_equals_sequential(
+            MetropolisHastingsSampler(graph_with_isolate), 50, 6, seed=14
+        )
+
+
 class TestWrwLocalCumsum:
     def test_huge_foreign_weights_do_not_break_selection(self):
         """Per-run local sums stay exact under extreme weight skew.

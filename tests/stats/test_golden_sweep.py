@@ -1,0 +1,88 @@
+"""Golden regression: fast sweep paths vs the sequential reference.
+
+``run_nrmse_sweep`` defaults to the fast engines
+(``engine="batched"``, ``ladder="incremental"``); the seed algorithms
+survive as ``engine="sequential"`` / ``ladder="subset"``. On a fixed
+seed and preset-sized world, the two paths must produce **bit-identical**
+NRMSE surfaces for every design — including the multigraph union-CSR
+walk and the alias-table S-WRW, whose kernels are exercised end-to-end
+through the full estimator stack here (the unit-level contracts live in
+``tests/sampling/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import gnm, planted_category_graph
+from repro.sampling import (
+    MetropolisHastingsSampler,
+    MultigraphRandomWalkSampler,
+    RandomWalkSampler,
+    RandomWalkWithJumpsSampler,
+    StratifiedWeightedWalkSampler,
+    UniformIndependenceSampler,
+)
+from repro.stats import run_nrmse_sweep
+
+LADDER = (40, 120, 360)
+REPLICATIONS = 6
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, partition = planted_category_graph(k=6, scale=60, rng=7)
+    relation = gnm(graph.num_nodes, max(graph.num_edges // 3, 1), rng=11)
+    return graph, partition, relation
+
+
+DESIGNS = {
+    "uis": lambda g, p, rel: UniformIndependenceSampler(g),
+    "rw": lambda g, p, rel: RandomWalkSampler(g),
+    "mhrw": lambda g, p, rel: MetropolisHastingsSampler(g),
+    "rwj": lambda g, p, rel: RandomWalkWithJumpsSampler(g, alpha=6.0),
+    "swrw": lambda g, p, rel: StratifiedWeightedWalkSampler(g, p),
+    "swrw-alias": lambda g, p, rel: StratifiedWeightedWalkSampler(
+        g, p, next_hop="alias"
+    ),
+    "multigraph": lambda g, p, rel: MultigraphRandomWalkSampler([g, rel]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_fast_sweep_bit_identical_to_sequential_subset(name, world):
+    graph, partition, relation = world
+    factory = DESIGNS[name]
+    fast = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+    )
+    reference = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+        engine="sequential",
+        ladder="subset",
+    )
+    assert np.array_equal(fast.sample_sizes, reference.sample_sizes)
+    for kind in ("induced", "star"):
+        for attr in (
+            "size_nrmse",
+            "weight_nrmse",
+            "size_coverage",
+            "weight_coverage",
+        ):
+            assert np.array_equal(
+                getattr(fast, attr)[kind],
+                getattr(reference, attr)[kind],
+                equal_nan=True,
+            ), f"{name}: {attr}[{kind}] diverged from the reference path"
