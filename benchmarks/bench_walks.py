@@ -7,10 +7,15 @@ reference paths (``engine="sequential"``, ``ladder="subset"`` — the
 seed algorithm, kept in-tree for exactly this comparison), for each
 walk design: RW, MHRW, RWJ, S-WRW with both next-hop engines (exact
 binary search and O(1) alias tables), and the union-CSR multigraph
-walk. Results are written to ``BENCH_walks.json`` at the repo root
-under a per-scale key, so ``REPRO_SCALE=paper`` runs extend the same
-trajectory file the default ``small`` runs seed (the batched engine's
-advantage grows with walk length).
+walk. A subset of designs is additionally swept through the
+:mod:`repro.runtime` process executor at several worker counts; every
+record self-describes its executor mode and worker count (plus the
+runner's core count in the workload), so serial and multi-worker rows
+stay comparable across PRs and runners. Results are written to
+``BENCH_walks.json`` at the repo root under a per-scale key, so
+``REPRO_SCALE=paper`` runs extend the same trajectory file the default
+``small`` runs seed (the batched engine's advantage grows with walk
+length).
 
 Assertions:
 
@@ -36,6 +41,7 @@ seed entry (the seed had no batched path for them at all).
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -56,6 +62,13 @@ from repro.stats import run_nrmse_sweep
 #: Acceptance workload: R >= 64 replicate walks, >= 5 ladder rungs.
 REPLICATIONS = 64
 REPEATS = 2
+
+#: Designs additionally swept through the repro.runtime process
+#: executor, and the worker counts tried (capped by available cores —
+#: rows are recorded regardless, but a 1-core runner cannot and is not
+#: expected to demonstrate parallel speedup).
+EXECUTOR_DESIGNS = ("rw", "swrw-alias")
+EXECUTOR_WORKERS = (2, 4)
 
 #: Pre-PR-1 seed timings for the small-preset workload (dev machine).
 SEED_BASELINE = {"rw": 3.28, "mhrw": 3.51, "rwj": 4.06, "swrw": 4.70}
@@ -124,6 +137,7 @@ def test_batched_sweep_speedup(preset, timing_asserts):
     sizes = preset.fig3_sample_sizes
     ladder = tuple(s for s in sizes if s <= 3 * graph.num_nodes) or sizes[:5]
 
+    cores = os.cpu_count() or 1
     record = {
         "workload": {
             "replications": REPLICATIONS,
@@ -132,22 +146,30 @@ def test_batched_sweep_speedup(preset, timing_asserts):
             "graph_nodes": graph.num_nodes,
             "graph_edges": graph.num_edges,
             "relation_edges": relation.num_edges,
+            "cpu_cores": cores,
         },
         "designs": {},
     }
     print()
-    for name, sampler in _samplers(graph, partition, relation).items():
+    samplers = _samplers(graph, partition, relation)
+    fast_sweeps: dict[str, object] = {}
+    for name, sampler in samplers.items():
+        # executor="serial" pins the row to in-process execution even
+        # when the environment (e.g. CI's REPRO_EXECUTOR=process job)
+        # defaults sweeps to the parallel path — rows must match their
+        # recorded executor metadata.
         fast_time, fast = _best_of(
             lambda: run_nrmse_sweep(
                 graph, partition, sampler, ladder,
-                replications=REPLICATIONS, rng=0,
+                replications=REPLICATIONS, rng=0, executor="serial",
             )
         )
+        fast_sweeps[name] = (fast_time, fast)
         ref_time, reference = _best_of(
             lambda: run_nrmse_sweep(
                 graph, partition, sampler, ladder,
                 replications=REPLICATIONS, rng=0,
-                engine="sequential", ladder="subset",
+                engine="sequential", ladder="subset", executor="serial",
             ),
             repeats=1,
         )
@@ -157,6 +179,9 @@ def test_batched_sweep_speedup(preset, timing_asserts):
         )
         speedup = ref_time / fast_time
         record["designs"][name] = {
+            # Every entry self-describes how it executed, so rows from
+            # serial and multi-worker runs stay comparable across PRs.
+            "executor": {"mode": "serial", "workers": 1},
             "batched_incremental_seconds": round(fast_time, 4),
             "sequential_subset_seconds": round(ref_time, 4),
             "speedup_vs_reference": round(speedup, 2),
@@ -165,6 +190,35 @@ def test_batched_sweep_speedup(preset, timing_asserts):
             f"  {name:>10}: batched {fast_time:6.3f}s  "
             f"sequential-reference {ref_time:6.3f}s  ({speedup:.1f}x)"
         )
+
+    # Multi-worker rows: the same fast sweep through the repro.runtime
+    # process executor. Always bit-identical; faster only with cores.
+    for name in EXECUTOR_DESIGNS:
+        sampler = samplers[name]
+        single_time, single = fast_sweeps[name]
+        for workers in EXECUTOR_WORKERS:
+            par_time, parallel = _best_of(
+                lambda: run_nrmse_sweep(
+                    graph, partition, sampler, ladder,
+                    replications=REPLICATIONS, rng=0,
+                    executor="process", workers=workers,
+                )
+            )
+            assert _sweeps_equal(parallel, single), (
+                f"{name}: process executor (workers={workers}) diverged "
+                "from the single-process sweep"
+            )
+            speedup = single_time / par_time
+            record["designs"][f"{name}@process-w{workers}"] = {
+                "executor": {"mode": "process", "workers": workers},
+                "batched_incremental_seconds": round(par_time, 4),
+                "single_process_seconds": round(single_time, 4),
+                "speedup_vs_single_process": round(speedup, 2),
+            }
+            print(
+                f"  {name:>10}: process x{workers} {par_time:6.3f}s  "
+                f"single-process {single_time:6.3f}s  ({speedup:.1f}x)"
+            )
 
     _JSON_PATH.write_text(
         json.dumps(_merge_record(preset.name, record), indent=2) + "\n"
@@ -175,7 +229,8 @@ def test_batched_sweep_speedup(preset, timing_asserts):
         # The in-tree reference already benefits from the vectorized
         # observation pipeline, so the bar here is lower than the >=10x
         # measured against the true pre-PR-1 seed.
-        for name, row in record["designs"].items():
+        for name in samplers:
+            row = record["designs"][name]
             assert row["speedup_vs_reference"] >= 1.5, (name, row)
         assert record["designs"]["rw"]["speedup_vs_reference"] >= 2.0, record
         # The alias engine must not regress S-WRW: its batched sweep
@@ -184,3 +239,10 @@ def test_batched_sweep_speedup(preset, timing_asserts):
         swrw = record["designs"]["swrw"]["batched_incremental_seconds"]
         alias = record["designs"]["swrw-alias"]["batched_incremental_seconds"]
         assert alias <= 1.25 * swrw, record["designs"]
+        # Parallel speedup needs parallel hardware and enough work per
+        # shard to amortize process startup: assert the >=1.5x bar for
+        # 2 workers on the medium/paper presets when >=2 cores exist.
+        if cores >= 2 and preset.name != "small":
+            for name in EXECUTOR_DESIGNS:
+                row = record["designs"][f"{name}@process-w2"]
+                assert row["speedup_vs_single_process"] >= 1.5, (name, row)

@@ -7,7 +7,17 @@ Regenerate any table or figure of the paper::
     repro run table2 --scale medium --out results/
     repro run fig7 --seed 7
 
-or equivalently ``python -m repro ...``.
+or equivalently ``python -m repro ...``. Long sweeps can use all cores
+and survive being killed::
+
+    repro run fig4 --scale paper --workers 8 --checkpoint ckpt/
+    repro run fig4 --scale paper --workers 8 --checkpoint ckpt/ --resume
+
+``--workers`` routes every replicated NRMSE sweep through the
+:mod:`repro.runtime` process executor (bit-identical output, any worker
+count); ``--checkpoint`` persists each completed ladder rung under the
+given root and ``--resume`` continues a matching checkpoint instead of
+restarting it.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="size preset (default: $REPRO_SCALE or 'small')",
     )
     report.add_argument("--seed", type=int, default=0, help="master seed")
+    _add_runtime_arguments(report)
 
     run = commands.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id (see 'repro list')")
@@ -73,13 +84,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to save CSV/JSON/text outputs",
     )
+    _add_runtime_arguments(run)
     return parser
+
+
+def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
+    """The shared sweep-executor flags (see :mod:`repro.runtime`)."""
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run replicated sweeps on N worker processes (bit-identical "
+            "to serial; default: in-process serial execution)"
+        ),
+    )
+    command.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint root directory; each sweep persists every "
+            "completed ladder rung under a manifest-keyed subdirectory"
+        ),
+    )
+    command.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue matching checkpoints instead of restarting them "
+            "(requires --checkpoint)"
+        ),
+    )
+
+
+def _runtime_scope(args):
+    """The executor configuration implied by the parsed arguments."""
+    from repro.runtime import runtime_options
+
+    wants_executor = (
+        args.workers is not None or args.checkpoint is not None or args.resume
+    )
+    if not wants_executor:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    return runtime_options(
+        executor="process",
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        # absent flag = unset, so ambient/env resume settings still apply
+        resume=True if args.resume else None,
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
+        # Without a checkpoint root there is nothing to resume from and
+        # nothing would be written for the next attempt either.
+        parser.error("--resume requires --checkpoint DIR")
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
@@ -89,7 +157,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
         try:
             preset = active_preset(args.scale)
-            path = generate_report(args.out, preset=preset, rng=args.seed)
+            with _runtime_scope(args):
+                path = generate_report(args.out, preset=preset, rng=args.seed)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
@@ -98,7 +167,10 @@ def main(argv: "list[str] | None" = None) -> int:
     # command == "run"
     try:
         preset = active_preset(args.scale)
-        results = run_experiment(args.experiment, preset=preset, rng=args.seed)
+        with _runtime_scope(args):
+            results = run_experiment(
+                args.experiment, preset=preset, rng=args.seed
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

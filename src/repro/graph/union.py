@@ -21,13 +21,17 @@ same random variates.
 
 Instances are cached: :func:`union_csr` memoizes on the (immutable,
 hashable) relation graphs, so the R replicate samplers of a sweep share
-one merged representation.
+one merged representation. The cache holds its values *weakly* — an
+entry lives exactly as long as some sampler (or other caller) still
+references the merged arrays, so a long-running session that cycles
+through many substrates never pins dead merges for the process
+lifetime.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Sequence
-from functools import lru_cache
 
 import numpy as np
 
@@ -56,6 +60,7 @@ class UnionCSR:
         "_indices",
         "_arc_relations",
         "_total_degrees",
+        "__weakref__",  # the union_csr cache references instances weakly
     )
 
     def __init__(self, graphs: Sequence[Graph]):
@@ -172,9 +177,14 @@ class UnionCSR:
         )
 
 
-@lru_cache(maxsize=32)
-def _union_csr_cached(graphs: tuple[Graph, ...]) -> UnionCSR:
-    return UnionCSR(graphs)
+#: Weak-valued memo: keys are relation tuples, values the merged CSRs.
+#: An entry (and the key tuple's strong references to its graphs) is
+#: dropped automatically once no caller holds the UnionCSR anymore —
+#: unlike the previous ``lru_cache``, which pinned up to 32 merges for
+#: the process lifetime.
+_UNION_CACHE: "weakref.WeakValueDictionary[tuple[Graph, ...], UnionCSR]" = (
+    weakref.WeakValueDictionary()
+)
 
 
 def union_csr(graphs: Sequence[Graph]) -> UnionCSR:
@@ -182,9 +192,15 @@ def union_csr(graphs: Sequence[Graph]) -> UnionCSR:
 
     Memoized on the relation tuple — :class:`Graph` is immutable and
     hashable — so repeated samplers over the same relations share one
-    merged representation instead of re-merging per construction.
+    merged representation instead of re-merging per construction. The
+    memo is weak-valued: it never extends a merge's lifetime, it only
+    deduplicates merges that are simultaneously alive.
     """
     graphs = tuple(graphs)
     if not all(isinstance(g, Graph) for g in graphs):
         raise GraphError("all relations must be Graph instances")
-    return _union_csr_cached(graphs)
+    merged = _UNION_CACHE.get(graphs)
+    if merged is None:
+        merged = UnionCSR(graphs)
+        _UNION_CACHE[graphs] = merged
+    return merged

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_rng"]
+__all__ = ["RngLike", "ensure_rng", "spawn_seeds", "spawn_rngs", "derive_rng"]
 
 # Anything acceptable as a source of randomness in public APIs.
 RngLike = "np.random.Generator | int | None"
@@ -38,6 +38,21 @@ def ensure_rng(rng: np.random.Generator | int | None = None) -> np.random.Genera
     )
 
 
+def spawn_seeds(rng: np.random.Generator | int | None, count: int) -> list[int]:
+    """The integer seeds behind :func:`spawn_rngs`, without the generators.
+
+    Replication harnesses that ship work to other processes send these
+    plain integers instead of generator objects: stream ``i`` is always
+    ``np.random.default_rng(seeds[i])``, so a worker reconstructs the
+    exact replicate stream regardless of which shard it was assigned.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rngs(rng: np.random.Generator | int | None, count: int) -> list[np.random.Generator]:
     """Spawn ``count`` independent generators derived from ``rng``.
 
@@ -45,11 +60,7 @@ def spawn_rngs(rng: np.random.Generator | int | None, count: int) -> list[np.ran
     reproducible regardless of how many replications run or in what
     order.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    base = ensure_rng(rng)
-    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]
 
 
 def derive_rng(rng: np.random.Generator | int | None, *tags: int) -> np.random.Generator:

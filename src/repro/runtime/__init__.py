@@ -1,0 +1,68 @@
+"""``repro.runtime`` — process-parallel sweep execution.
+
+The layer between the sampling/estimation kernels and the experiment
+harness: :class:`ProcessSweepExecutor` runs a replicated NRMSE sweep
+(the engine behind Figs. 3, 4, 6 and Table 2) across worker processes,
+publishing the graph substrate once through shared memory
+(:mod:`repro.runtime.sharedmem`), bounding variate memory via the
+batched engine's chunked step windows, and checkpointing every
+completed ladder rung (:mod:`repro.runtime.checkpoint`) so paper-scale
+runs survive being killed. Select it per call
+(``run_nrmse_sweep(executor="process", workers=4)``), per scope
+(:func:`runtime_options`), or per environment (``REPRO_EXECUTOR`` /
+``REPRO_WORKERS`` — how CI runs whole suites under the parallel path).
+
+The determinism contract
+------------------------
+Parallel output is **bit-identical** to the serial engine, for every
+worker count, by construction rather than by tolerance:
+
+1. **Streams are named by seed, not by schedule.** The master generator
+   spawns one integer seed per replicate
+   (:func:`repro.rng.spawn_seeds`) exactly as the serial harness
+   spawns its generators; replicate ``i`` *is*
+   ``default_rng(seeds[i])`` wherever it executes. Shard assignment,
+   worker count, and completion order cannot reach a trajectory.
+2. **Kernels are shard-blind.** A worker advances its replicate block
+   through the same batched frontier kernels
+   (:func:`repro.sampling.batch.sample_streams`), which are bit-equal
+   to the sequential samplers per stream — the PR-1/PR-2 contract this
+   layer inherits. Chunked variate windows preserve it because chunked
+   ``Generator.random`` calls yield the identical value stream.
+3. **Estimation rows share one code path.** Each replicate's rung rows
+   come from the same ``_rung_rows`` / prefix-ladder code the serial
+   sweep runs; rows are placed by absolute replicate index and reduced
+   by the serial reducer. No float is added in a different order.
+4. **Resume is exact.** Checkpointed rungs are replayed from disk while
+   workers fold their integer multiplicity state forward
+   (:meth:`repro.stats.prefix.IncrementalPrefixLadder.fold` — adding a
+   draw's multiplicity is order-free integer arithmetic), so a resumed
+   sweep finishes with the same bits as an uninterrupted one. The
+   checkpoint directory is keyed by a manifest fingerprint (seeds,
+   ladder, estimator knobs, graph/partition/sampler content), so a
+   stale checkpoint can never contaminate a non-matching run.
+
+``tests/runtime/`` enforces all four properties; the golden sweep
+regression additionally pins the executor against the serial reference
+for every registered design.
+"""
+
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.config import (
+    RuntimeOptions,
+    active_options,
+    resolve_executor,
+    runtime_options,
+)
+from repro.runtime.executor import ProcessSweepExecutor
+from repro.runtime.sharedmem import SharedArrayPool
+
+__all__ = [
+    "ProcessSweepExecutor",
+    "RuntimeOptions",
+    "SharedArrayPool",
+    "SweepCheckpoint",
+    "active_options",
+    "resolve_executor",
+    "runtime_options",
+]

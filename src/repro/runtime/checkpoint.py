@@ -1,0 +1,154 @@
+"""Manifest-keyed rung-level checkpoints for paper-scale sweeps.
+
+A paper-scale NRMSE sweep is hours of sampling plus a ladder of
+estimation rungs. The executor checkpoints it at two grains inside a
+per-sweep directory under the user's checkpoint root:
+
+* ``samples.npz`` — the replicate draw matrices, written once after the
+  sampling phase (a killed run resumes estimation without re-walking);
+* ``rung_<k>.npz`` — the per-replicate estimate rows of ladder rung
+  ``k``, one file per completed rung (the resume grain the CLI's
+  ``--resume`` promises: a run killed after rung ``k`` recomputes
+  nothing up to and including ``k``).
+
+The directory name embeds a *manifest key*: a SHA-256 over everything
+that determines the sweep's output bit-for-bit — design, replicate
+seeds, ladder, estimator knobs, and content fingerprints of the graph,
+partition, and sampler state. Any drift (different seed, edited graph,
+new sampler parameters) changes the key, so a stale checkpoint can
+never leak rows into a non-matching run; ``resume=False`` additionally
+clears a matching directory so a fresh run never trusts old files.
+
+All writes are atomic (temp file + ``os.replace``), so a kill mid-write
+leaves either the previous state or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SweepCheckpoint", "manifest_key"]
+
+#: Bump when the on-disk layout changes; part of the manifest key.
+CHECKPOINT_FORMAT = 1
+
+#: The stack row fields stored per rung, in file order.
+_ROW_FIELDS = ("sizes_induced", "sizes_star", "weights_induced", "weights_star")
+
+
+def manifest_key(manifest: dict) -> str:
+    """Stable short key of a sweep manifest (sorted-key JSON, SHA-256)."""
+    canonical = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _atomic_write(path: Path, writer) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        writer(handle)
+    os.replace(tmp, path)
+
+
+class SweepCheckpoint:
+    """One sweep's checkpoint directory (see module docstring).
+
+    Parameters
+    ----------
+    root:
+        The user-facing checkpoint root; the sweep lives in
+        ``root / f"sweep-{key}"``.
+    manifest:
+        JSON-serializable description of everything output-determining;
+        stored alongside the data for inspection and validated against
+        the directory name on resume.
+    resume:
+        When false, an existing matching directory is cleared first.
+    """
+
+    def __init__(self, root: "str | os.PathLike", manifest: dict, resume: bool):
+        self.manifest = dict(manifest, format=CHECKPOINT_FORMAT)
+        self.key = manifest_key(self.manifest)
+        self.directory = Path(root) / f"sweep-{self.key}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / "manifest.json"
+        if not resume:
+            self._clear()
+        elif manifest_path.exists():
+            try:
+                stored = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                stored = None
+            if stored != self.manifest:  # pragma: no cover - key collision
+                self._clear()
+        payload = json.dumps(self.manifest, indent=2, sort_keys=True) + "\n"
+        _atomic_write(manifest_path, lambda h: h.write(payload.encode()))
+
+    def _clear(self) -> None:
+        for stale in self.directory.glob("*.npz"):
+            stale.unlink()
+        for stale in self.directory.glob("*.tmp"):
+            stale.unlink()
+
+    # ------------------------------------------------------------------
+    # Samples (written once, after the sampling phase)
+    # ------------------------------------------------------------------
+    @property
+    def samples_path(self) -> Path:
+        return self.directory / "samples.npz"
+
+    def load_samples(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        """The checkpointed ``(nodes, weights)`` matrices, if present."""
+        if not self.samples_path.exists():
+            return None
+        try:
+            with np.load(self.samples_path) as data:
+                return data["nodes"], data["weights"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def save_samples(self, nodes: np.ndarray, weights: np.ndarray) -> None:
+        _atomic_write(
+            self.samples_path,
+            lambda h: np.savez(h, nodes=nodes, weights=weights),
+        )
+
+    # ------------------------------------------------------------------
+    # Rung rows (one file per completed ladder rung)
+    # ------------------------------------------------------------------
+    def rung_path(self, rung_index: int) -> Path:
+        return self.directory / f"rung_{rung_index:03d}.npz"
+
+    def load_rung(
+        self, rung_index: int, size: int
+    ) -> "tuple[np.ndarray, ...] | None":
+        """Rows of a completed rung, or ``None`` if absent/mismatched."""
+        path = self.rung_path(rung_index)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                if int(data["size"]) != int(size):
+                    return None
+                return tuple(data[field] for field in _ROW_FIELDS)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def save_rung(self, rung_index: int, size: int, rows: tuple) -> None:
+        arrays = dict(zip(_ROW_FIELDS, rows))
+        _atomic_write(
+            self.rung_path(rung_index),
+            lambda h: np.savez(h, size=np.int64(size), **arrays),
+        )
+
+    def completed_rungs(self, sizes) -> list[int]:
+        """Indices of rungs with a valid checkpoint file, given the ladder."""
+        return [
+            si
+            for si, size in enumerate(sizes)
+            if self.load_rung(si, int(size)) is not None
+        ]

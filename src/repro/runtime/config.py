@@ -1,0 +1,170 @@
+"""Ambient runtime configuration for the parallel sweep executor.
+
+:func:`repro.stats.replication.run_nrmse_sweep` accepts executor knobs
+per call, but the experiment drivers (Figs. 3/4/6, Table 2) never pass
+them — they would have to thread ``workers=`` through every driver
+signature. Instead the CLI (``repro run --workers 4 --resume``) and
+tests install an ambient :class:`RuntimeOptions` via
+:func:`runtime_options`, and ``run_nrmse_sweep`` consults it whenever a
+knob was not given explicitly. Resolution order per knob:
+
+1. the explicit ``run_nrmse_sweep`` argument;
+2. the innermost active :func:`runtime_options` context;
+3. the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` / ``REPRO_CHECKPOINT`` /
+   ``REPRO_RESUME`` environment variables (how CI runs whole suites
+   under the parallel path without touching any call site);
+4. the serial in-process default.
+
+This module is deliberately dependency-free (stdlib only): the serial
+sweep path imports it on every call and must stay light.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["RuntimeOptions", "runtime_options", "active_options", "resolve_executor"]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """One layer of executor defaults (see module docstring)."""
+
+    #: ``"serial"``, ``"process"``, or ``None`` (fall through).
+    executor: str | None = None
+    #: Worker processes for the process executor (``None``: cpu count).
+    workers: int | None = None
+    #: Checkpoint root directory (manifest-keyed subdirs per sweep).
+    checkpoint: Path | None = None
+    #: Continue a matching checkpoint instead of restarting it.
+    #: Tri-state: ``None`` falls through to the next layer, so an inner
+    #: scope can force a fresh run with an explicit ``False``.
+    resume: bool | None = None
+
+
+#: Innermost-wins stack of ambient option layers.
+_STACK: list[RuntimeOptions] = []
+
+
+@contextmanager
+def runtime_options(
+    executor: str | None = None,
+    workers: int | None = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: bool | None = None,
+):
+    """Install ambient executor defaults for the enclosed block."""
+    layer = RuntimeOptions(
+        executor=executor,
+        workers=None if workers is None else int(workers),
+        checkpoint=None if checkpoint is None else Path(checkpoint),
+        resume=None if resume is None else bool(resume),
+    )
+    _STACK.append(layer)
+    try:
+        yield layer
+    finally:
+        _STACK.remove(layer)
+
+
+def _env_options() -> RuntimeOptions:
+    executor = os.environ.get("REPRO_EXECUTOR", "").strip() or None
+    workers_env = os.environ.get("REPRO_WORKERS", "").strip()
+    checkpoint_env = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    resume_env = os.environ.get("REPRO_RESUME", "").strip().lower()
+    if workers_env:
+        try:
+            workers = int(workers_env)
+        except ValueError:
+            from repro.exceptions import EstimationError
+
+            raise EstimationError(
+                f"REPRO_WORKERS must be an integer, got {workers_env!r}"
+            ) from None
+    else:
+        workers = None
+    return RuntimeOptions(
+        executor=executor,
+        workers=workers,
+        checkpoint=Path(checkpoint_env) if checkpoint_env else None,
+        resume=(resume_env in _TRUTHY) if resume_env else None,
+    )
+
+
+def active_options() -> RuntimeOptions:
+    """The merged ambient options (context layers over environment)."""
+    merged = _env_options()
+    for layer in _STACK:
+        merged = RuntimeOptions(
+            executor=layer.executor if layer.executor is not None else merged.executor,
+            workers=layer.workers if layer.workers is not None else merged.workers,
+            checkpoint=(
+                layer.checkpoint if layer.checkpoint is not None else merged.checkpoint
+            ),
+            resume=layer.resume if layer.resume is not None else merged.resume,
+        )
+    return merged
+
+
+def resolve_executor(
+    executor: "str | object | None",
+    workers: int | None,
+    checkpoint: "str | os.PathLike | None",
+    resume: bool | None,
+):
+    """Resolve ``run_nrmse_sweep`` executor arguments to an executor.
+
+    Returns ``None`` for the serial in-process path, or an object with
+    the executor ``run(...)`` interface. Strings name the built-in
+    executors; anything else is assumed to *be* an executor instance
+    and is returned unchanged — in that case the instance already
+    carries its worker/checkpoint configuration, so combining it with
+    the explicit knobs is rejected rather than silently ignored.
+    """
+    ambient = active_options()
+    if executor is None:
+        executor = ambient.executor
+        if executor is None:
+            # Nothing selected an executor explicitly, but the process
+            # knobs were: asking for workers or a checkpoint *is* asking
+            # for the process executor — running serial would silently
+            # drop both.
+            knobs_given = (
+                workers is not None
+                or checkpoint is not None
+                or resume is not None
+            )
+            executor = "process" if knobs_given else "serial"
+    if not isinstance(executor, str):
+        if workers is not None or checkpoint is not None or resume is not None:
+            from repro.exceptions import EstimationError
+
+            raise EstimationError(
+                "pass workers/checkpoint/resume either to the executor "
+                "instance or as run_nrmse_sweep arguments, not both"
+            )
+        return executor
+    if executor == "serial":
+        return None
+    if executor != "process":
+        from repro.exceptions import EstimationError
+
+        raise EstimationError(
+            f"unknown executor {executor!r}; use 'serial' or 'process'"
+        )
+    from repro.runtime.executor import ProcessSweepExecutor
+
+    return ProcessSweepExecutor(
+        workers=workers if workers is not None else ambient.workers,
+        checkpoint=checkpoint if checkpoint is not None else ambient.checkpoint,
+        resume=(
+            resume
+            if resume is not None
+            else (ambient.resume if ambient.resume is not None else False)
+        ),
+    )

@@ -1,0 +1,494 @@
+"""Process-parallel sweep executor (see :mod:`repro.runtime`).
+
+The executor turns one replicated NRMSE sweep into ``W`` shard jobs:
+worker ``w`` owns a contiguous block of replicate indices, reconstructs
+each replicate's RNG stream from its spawned seed, advances its block
+through the batched frontier kernels (:mod:`repro.sampling.batch`), and
+steps a per-replicate prefix ladder rung by rung under parent control.
+The parent assembles rows into the same ``(R, K, C[, C])`` stacks the
+serial path builds and reduces them with the identical code
+(:func:`repro.stats.replication._reduce_stacks`), which is why the
+output is bit-identical to the serial engine for any worker count.
+
+Parent/worker protocol (one duplex pipe per worker)::
+
+    worker -> ("sampled", nodes|None, weights|None)   after sampling
+    parent -> ("rung", si, size)                      compute rung si
+    worker -> ("rows", si, (4 shard row arrays))
+    parent -> ("skip", si, size)                      rung restored from
+    worker -> ("skipped", si)                         a checkpoint; fold
+                                                      state forward only
+    parent -> ("stop",)                               shut down
+    worker -> ("error", traceback)                    any time, fatal
+
+Rung-by-rung control is what makes checkpoint/resume work: after every
+gathered rung the parent persists that rung's rows, so a later run with
+the same manifest replays finished rungs from disk (workers only fold
+their multiplicity state forward — exact, integer arithmetic) and
+resumes computing at the first missing rung.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import traceback
+from io import BytesIO
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.graph.adjacency import Graph
+from repro.graph.category_graph import true_category_graph
+from repro.graph.partition import CategoryPartition
+from repro.graph.union import UnionCSR
+from repro.rng import ensure_rng, spawn_seeds
+from repro.runtime import sharedmem
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.sampling.base import NodeSample, Sampler
+from repro.sampling.batch import sample_streams
+from repro.sampling.observation import observe_induced, observe_star
+from repro.stats.prefix import IncrementalPrefixLadder
+from repro.stats.replication import (
+    KINDS,
+    SweepResult,
+    _reduce_stacks,
+    _rung_rows,
+    _subset_rung,
+)
+
+__all__ = ["ProcessSweepExecutor"]
+
+
+# ----------------------------------------------------------------------
+# Sweep fingerprinting (manifest keys for checkpoints)
+# ----------------------------------------------------------------------
+def _array_digest(*arrays: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+class _FingerprintPickler(pickle.Pickler):
+    """Canonicalizing pickler for sampler fingerprints.
+
+    Lazily-computed caches (``Graph._arc_sources``, a partition's arc
+    label cache) make naive ``pickle.dumps`` bytes depend on what was
+    *called* before fingerprinting, not on what the sampler *is*. This
+    pickler replaces graphs, partitions, and raw arrays with content
+    digests, so equal samplers always fingerprint equally and a resumed
+    run finds its checkpoint.
+    """
+
+    def persistent_id(self, obj):
+        if isinstance(obj, Graph):
+            return ("graph", _array_digest(obj.indptr, obj.indices))
+        if isinstance(obj, CategoryPartition):
+            return ("partition", _array_digest(obj.labels), tuple(obj.names))
+        if isinstance(obj, UnionCSR):
+            return (
+                "union",
+                tuple(_array_digest(g.indptr, g.indices) for g in obj.graphs),
+            )
+        if type(obj) is np.ndarray and obj.dtype != object:
+            return ("array", _array_digest(obj), obj.dtype.str, obj.shape)
+        return None
+
+
+def _sampler_fingerprint(sampler: Sampler) -> str:
+    buffer = BytesIO()
+    _FingerprintPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(sampler)
+    return hashlib.sha256(buffer.getvalue()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _ReplicateLadder:
+    """One replicate's rung stepper inside a worker.
+
+    Wraps either ladder engine behind ``rung``/``skip``: ``rung``
+    computes a :class:`~repro.stats.prefix.RungEstimates` exactly as the
+    serial ``_ladder_rungs`` generator would; ``skip`` advances the
+    incremental multiplicity state past a checkpointed rung without
+    re-deriving estimates (an exact integer fold, so later rungs are
+    unaffected by the skip).
+    """
+
+    def __init__(self, graph, partition, sample, ladder, n_pop, mean_degree_model):
+        self._mode = ladder
+        self._n_pop = n_pop
+        self._mean_degree_model = mean_degree_model
+        if ladder == "incremental":
+            self._state = IncrementalPrefixLadder(graph, partition, sample)
+        else:
+            self._star = observe_star(graph, partition, sample)
+            self._induced = observe_induced(graph, partition, sample)
+
+    def rung(self, size: int):
+        if self._mode == "incremental":
+            return self._state.estimates(
+                size, self._n_pop, mean_degree_model=self._mean_degree_model
+            )
+        return _subset_rung(
+            self._star, self._induced, size, self._n_pop, self._mean_degree_model
+        )
+
+    def skip(self, size: int) -> None:
+        if self._mode == "incremental":
+            self._state.fold(size)
+
+
+def _worker_main(conn, payload: bytes, cfg: dict) -> None:
+    """Shard worker: sample the owned replicates, then serve rung commands."""
+    try:
+        world = sharedmem.loads(payload)
+        graph, partition, sampler = (
+            world["graph"],
+            world["partition"],
+            world["sampler"],
+        )
+        if cfg["samples"] is not None:
+            nodes, weights = cfg["samples"]
+            samples = [
+                NodeSample(
+                    nodes[i],
+                    weights[i],
+                    design=sampler.design,
+                    uniform=sampler.uniform,
+                )
+                for i in range(len(cfg["seeds"]))
+            ]
+            conn.send(("sampled", None, None))
+        else:
+            streams = [np.random.default_rng(seed) for seed in cfg["seeds"]]
+            batch = sample_streams(
+                sampler, cfg["n"], streams, engine=cfg["engine"]
+            )
+            samples = batch.replicates()
+            if cfg["want_samples"]:
+                conn.send(("sampled", batch.nodes, batch.weights))
+            else:
+                conn.send(("sampled", None, None))
+        ladders = [
+            _ReplicateLadder(
+                graph,
+                partition,
+                sample,
+                cfg["ladder"],
+                cfg["n_pop"],
+                cfg["mean_degree_model"],
+            )
+            for sample in samples
+        ]
+        truth_sizes = cfg["truth_sizes"]
+        plugin = cfg["weight_size_plugin"]
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            si, size = message[1], message[2]
+            if command == "skip":
+                for ladder in ladders:
+                    ladder.skip(size)
+                conn.send(("skipped", si))
+            elif command == "rung":
+                rows = [
+                    _rung_rows(ladder.rung(size), plugin, truth_sizes)
+                    for ladder in ladders
+                ]
+                conn.send(
+                    (
+                        "rows",
+                        si,
+                        tuple(
+                            np.stack([r[field] for r in rows])
+                            for field in range(4)
+                        ),
+                    )
+                )
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown executor command {command!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+def _preferred_context():
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessSweepExecutor:
+    """Shared-memory multi-process sweep executor.
+
+    Parameters
+    ----------
+    workers:
+        Shard count (default: CPU count). Clamped to the replication
+        count; the shard assignment never influences results, only
+        wall-clock.
+    checkpoint:
+        Checkpoint *root* directory. Each sweep writes into a
+        manifest-keyed subdirectory (see
+        :mod:`repro.runtime.checkpoint`); ``None`` disables
+        checkpointing.
+    resume:
+        Continue a matching checkpoint (skip its sampling phase and
+        completed rungs) instead of clearing it.
+    mp_context:
+        A ``multiprocessing`` context; defaults to ``fork`` where
+        available (workers then inherit the parent's imports) and
+        ``spawn`` elsewhere.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        checkpoint: "str | os.PathLike | None" = None,
+        resume: bool = False,
+        mp_context=None,
+    ):
+        if workers is not None and workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers) if workers is not None else _default_workers()
+        self.checkpoint_root = None if checkpoint is None else Path(checkpoint)
+        self.resume = bool(resume)
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph,
+        partition,
+        sampler: Sampler,
+        sizes: np.ndarray,
+        replications: int,
+        rng,
+        *,
+        engine: str = "batched",
+        ladder: str = "incremental",
+        weight_size_plugin: str = "star",
+        mean_degree_model: str = "per-category",
+    ) -> SweepResult:
+        """Run one sweep; same contract as the serial ``run_nrmse_sweep``."""
+        if replications < 1:
+            raise EstimationError(
+                f"replications must be positive, got {replications}"
+            )
+        if engine not in ("batched", "sequential"):
+            raise EstimationError(
+                f"unknown engine {engine!r}; use 'batched' or 'sequential'"
+            )
+        if ladder not in ("incremental", "subset"):
+            raise EstimationError(
+                f"unknown ladder {ladder!r}; use 'incremental' or 'subset'"
+            )
+        if weight_size_plugin not in ("star", "induced", "true"):
+            raise EstimationError(
+                f"unknown weight_size_plugin {weight_size_plugin!r}"
+            )
+        if mean_degree_model not in ("per-category", "global"):
+            raise EstimationError(
+                f"unknown mean_degree_model {mean_degree_model!r}; "
+                "use 'per-category' or 'global'"
+            )
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = int(sizes[-1])
+        seeds = spawn_seeds(ensure_rng(rng), replications)
+        truth = true_category_graph(graph, partition)
+        checkpoint = self._open_checkpoint(
+            graph, partition, sampler, sizes, replications, seeds,
+            engine, ladder, weight_size_plugin, mean_degree_model,
+        )
+        saved = checkpoint.load_samples() if checkpoint and self.resume else None
+        if saved is not None and saved[0].shape != (replications, n):
+            saved = None
+        # Load every completed rung's rows once, up front — the rung
+        # loop replays from this dict instead of re-reading the files.
+        cached_rungs = (
+            {
+                si: rows
+                for si, size in enumerate(sizes)
+                if (rows := checkpoint.load_rung(si, int(size))) is not None
+            }
+            if checkpoint and self.resume
+            else {}
+        )
+
+        r, k, c = replications, len(sizes), partition.num_categories
+        size_stacks = {kind: np.full((r, k, c), np.nan) for kind in KINDS}
+        weight_stacks = {kind: np.full((r, k, c, c), np.nan) for kind in KINDS}
+        if len(cached_rungs) == len(sizes):
+            # Every rung is already checkpointed: assemble the result
+            # straight from disk — no workers, no resampling, no ladder
+            # rebuilds (a finished sweep re-resumed is a pure replay).
+            for si in range(len(sizes)):
+                self._fill(size_stacks, weight_stacks, si, cached_rungs[si])
+            return _reduce_stacks(
+                sizes, size_stacks, weight_stacks, truth, "exact"
+            )
+
+        num_workers = min(self.workers, replications)
+        shards = np.array_split(np.arange(replications), num_workers)
+        ctx = self._mp_context or _preferred_context()
+
+        with sharedmem.SharedArrayPool() as pool:
+            payload = sharedmem.dumps(
+                {"graph": graph, "partition": partition, "sampler": sampler},
+                pool,
+            )
+            connections, processes = [], []
+            try:
+                for shard in shards:
+                    cfg = {
+                        "seeds": [seeds[i] for i in shard],
+                        "n": n,
+                        "n_pop": graph.num_nodes,
+                        "engine": engine,
+                        "ladder": ladder,
+                        "weight_size_plugin": weight_size_plugin,
+                        "mean_degree_model": mean_degree_model,
+                        "truth_sizes": truth.sizes,
+                        "want_samples": checkpoint is not None and saved is None,
+                        "samples": (
+                            None
+                            if saved is None
+                            else (saved[0][shard], saved[1][shard])
+                        ),
+                    }
+                    parent_conn, child_conn = ctx.Pipe()
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, payload, cfg),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    connections.append(parent_conn)
+                    processes.append(process)
+
+                self._gather_samples(
+                    connections, processes, shards, checkpoint, saved, n
+                )
+                for si, size in enumerate(sizes):
+                    size = int(size)
+                    cached = cached_rungs.get(si)
+                    if cached is not None:
+                        self._broadcast(connections, ("skip", si, size))
+                        for conn, process in zip(connections, processes):
+                            self._receive(conn, process, "skipped", si)
+                        self._fill(size_stacks, weight_stacks, si, cached)
+                    else:
+                        self._broadcast(connections, ("rung", si, size))
+                        rows = [
+                            self._receive(conn, process, "rows", si)
+                            for conn, process in zip(connections, processes)
+                        ]
+                        merged = tuple(
+                            np.concatenate([shard_rows[f] for shard_rows in rows])
+                            for f in range(4)
+                        )
+                        self._fill(size_stacks, weight_stacks, si, merged)
+                        if checkpoint is not None:
+                            checkpoint.save_rung(si, size, merged)
+                self._broadcast(connections, ("stop",))
+            finally:
+                for conn in connections:
+                    conn.close()
+                for process in processes:
+                    process.join(timeout=30)
+                    if process.is_alive():  # pragma: no cover - stuck worker
+                        process.terminate()
+                        process.join()
+
+        return _reduce_stacks(sizes, size_stacks, weight_stacks, truth, "exact")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _open_checkpoint(
+        self, graph, partition, sampler, sizes, replications, seeds,
+        engine, ladder, weight_size_plugin, mean_degree_model,
+    ) -> "SweepCheckpoint | None":
+        if self.checkpoint_root is None:
+            return None
+        manifest = {
+            "design": sampler.design,
+            "replications": int(replications),
+            "sizes": [int(s) for s in sizes],
+            "seeds": seeds,
+            "engine": engine,
+            "ladder": ladder,
+            "weight_size_plugin": weight_size_plugin,
+            "mean_degree_model": mean_degree_model,
+            "graph": _array_digest(graph.indptr, graph.indices),
+            "partition": _array_digest(partition.labels),
+            "categories": list(partition.names),
+            "sampler": _sampler_fingerprint(sampler),
+        }
+        return SweepCheckpoint(self.checkpoint_root, manifest, self.resume)
+
+    def _gather_samples(
+        self, connections, processes, shards, checkpoint, saved, n
+    ) -> None:
+        collected = []
+        for conn, process in zip(connections, processes):
+            message = self._receive(conn, process, "sampled")
+            collected.append(message)
+        if checkpoint is not None and saved is None:
+            nodes = np.concatenate([part[0] for part in collected])
+            weights = np.concatenate([part[1] for part in collected])
+            checkpoint.save_samples(nodes, weights)
+
+    @staticmethod
+    def _broadcast(connections, message) -> None:
+        for conn in connections:
+            conn.send(message)
+
+    @staticmethod
+    def _receive(conn, process, expected: str, rung_index: int | None = None):
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise EstimationError(
+                "sweep worker exited unexpectedly "
+                f"(exitcode {process.exitcode})"
+            ) from None
+        if message[0] == "error":
+            raise EstimationError(f"sweep worker failed:\n{message[1]}")
+        if message[0] != expected or (
+            rung_index is not None and message[1] != rung_index
+        ):  # pragma: no cover - protocol misuse
+            raise EstimationError(
+                f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
+            )
+        return message[1:] if expected == "sampled" else (
+            message[2] if expected == "rows" else None
+        )
+
+    @staticmethod
+    def _fill(size_stacks, weight_stacks, si, rows) -> None:
+        size_stacks["induced"][:, si] = rows[0]
+        size_stacks["star"][:, si] = rows[1]
+        weight_stacks["induced"][:, si] = rows[2]
+        weight_stacks["star"][:, si] = rows[3]

@@ -1,0 +1,161 @@
+"""Publish NumPy arrays to workers once, via POSIX shared memory.
+
+A sweep's workers all need the same read-only substrate: the graph's
+CSR ``indptr``/``indices``, the union-multigraph planes, per-arc weight
+and alias tables, partition labels. Pickling those into every worker
+costs O(workers x arrays) copies and, at paper scale, dominates
+executor startup. This module instead publishes each large array to a
+``multiprocessing.shared_memory`` block exactly once and replaces it
+inside the pickle stream with a *persistent id* — a small
+``(name, dtype, shape)`` token. Workers resolve tokens by attaching the
+named block and wrapping it in a read-only ndarray view: zero copies,
+one physical instance of the substrate regardless of worker count.
+
+The mechanism is object-agnostic: :func:`dumps` pickles any object
+graph (samplers, :class:`~repro.graph.adjacency.Graph` instances,
+:class:`~repro.graph.union.UnionCSR`, partitions) and every ndarray at
+least ``threshold`` bytes big rides shared memory automatically, so new
+sampler designs get the treatment without registering anything.
+
+Lifecycle: the parent owns the blocks — keep the
+:class:`SharedArrayPool` alive until every worker has exited, then
+:meth:`SharedArrayPool.close` unlinks them. Workers attach untracked
+(they never own a block) and drop their handles at process exit.
+"""
+
+from __future__ import annotations
+
+import pickle
+from io import BytesIO
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayPool", "dumps", "loads"]
+
+#: Arrays smaller than this ride the pickle stream directly; the tiny
+#: ones are cheaper to copy than to publish and attach.
+DEFAULT_THRESHOLD_BYTES = 16_384
+
+_TOKEN_KIND = "repro-shm-ndarray"
+
+
+class SharedArrayPool:
+    """Parent-side registry of arrays published to shared memory.
+
+    One pool per executor run. Arrays are deduplicated by object
+    identity, so the graph's ``indices`` referenced by several samplers
+    is published once; the pool keeps a reference to every published
+    source array, which also pins its ``id`` for the dedup map.
+    """
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD_BYTES):
+        self.threshold = int(threshold)
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self._tokens: dict[int, tuple] = {}
+        self._pinned: list[np.ndarray] = []
+
+    def publish(self, array: np.ndarray) -> tuple:
+        """The persistent-id token of ``array``, publishing on first use."""
+        token = self._tokens.get(id(array))
+        if token is not None:
+            return token
+        source = np.ascontiguousarray(array)
+        block = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1))
+        np.ndarray(source.shape, dtype=source.dtype, buffer=block.buf)[...] = source
+        token = (_TOKEN_KIND, block.name, source.dtype.str, source.shape)
+        self._blocks.append(block)
+        self._tokens[id(array)] = token
+        self._pinned.append(array)
+        return token
+
+    @property
+    def num_published(self) -> int:
+        """Number of distinct arrays published so far."""
+        return len(self._blocks)
+
+    def close(self) -> None:
+        """Release and unlink every published block (parent side)."""
+        for block in self._blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._blocks.clear()
+        self._tokens.clear()
+        self._pinned.clear()
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _PlanePickler(pickle.Pickler):
+    """Pickler that swaps big ndarrays for shared-memory tokens."""
+
+    def __init__(self, file, pool: SharedArrayPool):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = pool
+
+    def persistent_id(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= self._pool.threshold
+        ):
+            return self._pool.publish(obj)
+        return None
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach a block without resource-tracker ownership (worker side).
+
+    On Python >= 3.13 ``track=False`` expresses exactly that. Older
+    versions register the name again on attach, but the tracker's cache
+    is a set shared with the parent, so the re-registration is a no-op
+    and the parent's ``unlink`` still retires the entry cleanly.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+#: Process-lifetime cache of attached blocks. ``SharedMemory.__del__``
+#: closes its mapping, so every handle whose buffer backs a live array
+#: view must stay referenced — the attaching process (a short-lived
+#: worker, or a test doing an in-process round trip) pins them here and
+#: they are released at process exit.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+class _PlaneUnpickler(pickle.Unpickler):
+    """Unpickler resolving tokens to read-only shared-memory views."""
+
+    def persistent_load(self, pid):
+        kind, name, dtype, shape = pid
+        if kind != _TOKEN_KIND:
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        cached = _ATTACHED.get(name)
+        if cached is None:
+            block = _attach(name)
+            array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+            array.flags.writeable = False
+            cached = (block, array)
+            _ATTACHED[name] = cached
+        return cached[1]
+
+
+def dumps(obj, pool: SharedArrayPool) -> bytes:
+    """Pickle ``obj`` with every large ndarray published through ``pool``."""
+    buffer = BytesIO()
+    _PlanePickler(buffer, pool).dump(obj)
+    return buffer.getvalue()
+
+
+def loads(payload: bytes):
+    """Worker-side inverse of :func:`dumps` (attaches shared blocks)."""
+    return _PlaneUnpickler(BytesIO(payload)).load()

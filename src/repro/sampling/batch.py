@@ -57,6 +57,8 @@ design the registry has never heard of.
 
 from __future__ import annotations
 
+import copy
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,10 +77,18 @@ from repro.sampling.walks import (
 __all__ = [
     "BatchNodeSample",
     "sample_many",
+    "sample_streams",
     "register_kernel",
     "registered_kernel",
     "is_registered",
 ]
+
+#: Steps of pre-drawn variates held in memory per (block, replicate) at
+#: any time. Peak variate memory is O(blocks x window x R) instead of
+#: the O(blocks x n x R) cube the engine used to pre-draw — the window
+#: is what keeps paper-scale walks (n ~ 1e5) memory-bounded. Override
+#: with the ``REPRO_VARIATE_WINDOW`` environment variable.
+DEFAULT_VARIATE_WINDOW = 4096
 
 
 @dataclass(frozen=True)
@@ -246,10 +256,35 @@ def sample_many(
         raise SamplingError(
             f"replications must be positive, got {replications}"
         )
-    sampler._check_size(n)
     gen = ensure_rng(rng)
     streams = spawn_rngs(gen, replications)
-    kernel = registered_kernel(sampler)
+    return sample_streams(sampler, n, streams)
+
+
+def sample_streams(
+    sampler: Sampler,
+    n: int,
+    streams: list[np.random.Generator],
+    engine: str = "batched",
+) -> BatchNodeSample:
+    """Draw one replicate per *explicit* RNG stream.
+
+    The shard entry point of the parallel sweep executor
+    (:mod:`repro.runtime`): a worker that owns replicates ``i..j`` of a
+    sweep passes the generators reconstructed from ``seeds[i..j]`` and
+    gets exactly the rows ``sample_many`` would have produced for those
+    replicates — stream identity, not shard assignment, determines the
+    trajectory. With ``engine="sequential"`` (or for designs without a
+    kernel) each stream runs the per-replicate reference sampler.
+    """
+    if not streams:
+        raise SamplingError("need at least one replicate stream")
+    if engine not in ("batched", "sequential"):
+        raise SamplingError(
+            f"unknown engine {engine!r}; use 'batched' or 'sequential'"
+        )
+    sampler._check_size(n)
+    kernel = registered_kernel(sampler) if engine == "batched" else None
     if kernel is not None:
         nodes, weights = kernel(sampler, n, streams)
         return BatchNodeSample(
@@ -274,26 +309,106 @@ def _stack_sequential(
 # ----------------------------------------------------------------------
 # Shared frontier plumbing
 # ----------------------------------------------------------------------
+def _active_window(total: int, window: int | None = None) -> int:
+    """Resolve the variate window size (clamped to ``[1, total]``)."""
+    if window is None:
+        env = os.environ.get("REPRO_VARIATE_WINDOW", "").strip()
+        if env:
+            try:
+                window = int(env)
+            except ValueError:
+                raise SamplingError(
+                    f"REPRO_VARIATE_WINDOW must be an integer, got {env!r}"
+                ) from None
+        else:
+            window = DEFAULT_VARIATE_WINDOW
+    if window < 1:
+        raise SamplingError(f"variate window must be >= 1, got {window}")
+    return min(window, total)
+
+
+class _FrontierVariates:
+    """Chunked step-window view of the kernels' pre-drawn variate cube.
+
+    The sequential samplers consume each replicate stream block-major:
+    the start draw, then ``blocks`` consecutive ``random(total)`` calls.
+    Pre-drawing that whole cube costs O(blocks x total x R) peak memory
+    — the reason paper-scale sweeps used to blow up. This object holds
+    only a ``(blocks, window, R)`` buffer and refills it as the frontier
+    advances, replaying each stream through one *cursor generator per
+    block*: cursor ``b`` of stream ``r`` is a copy of the post-start
+    stream state advanced past the ``b * total`` doubles the earlier
+    blocks own, so its windowed ``random`` calls yield exactly the
+    slice ``stream.random(total)`` (block ``b``) would have — chunked
+    ``Generator.random`` produces the identical value stream, which is
+    what preserves the engine's bit-equality contract.
+    """
+
+    __slots__ = ("_cursors", "_buf", "_total", "_lo", "_hi")
+
+    def __init__(
+        self,
+        streams: list[np.random.Generator],
+        blocks: int,
+        total: int,
+        window: int | None = None,
+    ):
+        window = _active_window(total, window)
+        self._total = total
+        self._buf = np.empty((blocks, window, len(streams)))
+        self._lo = self._hi = 0
+        self._cursors: list[list[np.random.Generator]] = []
+        scratch = np.empty(window)
+        for stream in streams:
+            per_block = [stream]
+            for b in range(1, blocks):
+                cursor = copy.deepcopy(stream)
+                # Skip the doubles owned by blocks 0..b-1 by replaying
+                # them in windowed chunks (never materializing them).
+                skip = b * total
+                while skip:
+                    step = min(skip, window)
+                    cursor.random(out=scratch[:step])
+                    skip -= step
+                per_block.append(cursor)
+            self._cursors.append(per_block)
+
+    def step(self, i: int) -> np.ndarray:
+        """Variate rows for step ``i``: a ``(blocks, R)`` view."""
+        if i >= self._hi:
+            self._fill(i)
+        return self._buf[:, i - self._lo, :]
+
+    def _fill(self, start: int) -> None:
+        width = min(self._buf.shape[1], self._total - start)
+        for r, per_block in enumerate(self._cursors):
+            for b, cursor in enumerate(per_block):
+                self._buf[b, :width, r] = cursor.random(width)
+        self._lo = start
+        self._hi = start + width
+
+
 def _frontier_setup(
     sampler: Sampler,
     streams: list[np.random.Generator],
     blocks: int,
     total: int,
     candidates: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Starts and pre-drawn variates, consuming each stream sequentially.
+) -> tuple[np.ndarray, _FrontierVariates]:
+    """Starts and windowed variates, consuming each stream sequentially.
 
-    Returns ``(starts, rand)`` with ``rand`` of shape
-    ``(blocks, total, R)``: per stream, the start draw first, then
-    ``blocks`` consecutive ``random(total)`` blocks — the exact
-    consumption order of the sequential samplers. ``candidates`` are the
-    valid random-start nodes (default: positive-degree nodes of the
-    sampler's graph; the multigraph kernel passes positive
-    *total*-degree nodes instead).
+    Returns ``(starts, variates)``; ``variates.step(i)`` yields the
+    ``(blocks, R)`` variate rows of step ``i``, drawn lazily in
+    step-windows (see :class:`_FrontierVariates`) so peak variate
+    memory is O(blocks x window x R), not O(blocks x total x R). Per
+    stream the consumption order is unchanged from the sequential
+    samplers: the start draw first, then ``blocks`` consecutive
+    ``random(total)`` blocks. ``candidates`` are the valid random-start
+    nodes (default: positive-degree nodes of the sampler's graph; the
+    multigraph kernel passes positive *total*-degree nodes instead).
     """
     replications = len(streams)
     starts = np.empty(replications, dtype=np.int64)
-    rand = np.empty((blocks, total, replications))
     if sampler._start is None and candidates is None:
         candidates = np.flatnonzero(sampler._graph.degrees() > 0)
     for r, stream in enumerate(streams):
@@ -301,9 +416,7 @@ def _frontier_setup(
             starts[r] = sampler._start
         else:
             starts[r] = candidates[stream.integers(0, len(candidates))]
-        for b in range(blocks):
-            rand[b, :, r] = stream.random(total)
-    return starts, rand
+    return starts, _FrontierVariates(streams, blocks, total)
 
 
 def _isolated_mask(degrees: np.ndarray) -> np.ndarray | None:
@@ -332,14 +445,14 @@ def _rw_kernel(sampler, n, streams):
     indptr, indices = graph.indptr, graph.indices
     degrees = graph.degrees()
     total = n + sampler._burn_in
-    cur, rand = _frontier_setup(sampler, streams, 1, total)
-    step_rand = rand[0]
+    cur, variates = _frontier_setup(sampler, streams, 1, total)
     isolated = _isolated_mask(degrees)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
         if isolated is not None:
             _check_frontier(isolated, cur, "random walk")
-        cur = indices[indptr[cur] + (step_rand[i] * degrees[cur]).astype(np.int64)]
+        step_rand = variates.step(i)[0]
+        cur = indices[indptr[cur] + (step_rand * degrees[cur]).astype(np.int64)]
         out[i] = cur
     nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
     return nodes, degrees[nodes].astype(float)
@@ -350,18 +463,18 @@ def _mhrw_kernel(sampler, n, streams):
     indptr, indices = graph.indptr, graph.indices
     degrees = graph.degrees()
     total = n + sampler._burn_in
-    cur, rand = _frontier_setup(sampler, streams, 2, total)
-    proposal_rand, accept_rand = rand[0], rand[1]
+    cur, variates = _frontier_setup(sampler, streams, 2, total)
     isolated = _isolated_mask(degrees)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
         if isolated is not None:
             _check_frontier(isolated, cur, "MHRW")
+        proposal_rand, accept_rand = variates.step(i)
         deg = degrees[cur]
         proposal = indices[
-            indptr[cur] + (proposal_rand[i] * deg).astype(np.int64)
+            indptr[cur] + (proposal_rand * deg).astype(np.int64)
         ]
-        accept = accept_rand[i] * degrees[proposal] <= deg
+        accept = accept_rand * degrees[proposal] <= deg
         cur = np.where(accept, proposal, cur)
         out[i] = cur
     nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
@@ -381,8 +494,7 @@ def _wrw_search_kernel(sampler, n, streams):
     cumulative = sampler._local_cumulative
     strength = sampler._strength
     total = n + sampler._burn_in
-    cur, rand = _frontier_setup(sampler, streams, 1, total)
-    step_rand = rand[0]
+    cur, variates = _frontier_setup(sampler, streams, 1, total)
     isolated = _isolated_mask(graph.degrees())
     last = max(len(cumulative) - 1, 0)
     out = np.empty((total, len(streams)), dtype=np.int64)
@@ -390,7 +502,7 @@ def _wrw_search_kernel(sampler, n, streams):
         if isolated is not None:
             _check_frontier(isolated, cur, "weighted walk")
         lo, hi = indptr[cur], indptr[cur + 1]
-        target = step_rand[i] * strength[cur]
+        target = variates.step(i)[0] * strength[cur]
         # Vectorized binary search: first j in [lo, hi) with
         # cumulative[j] > target — np.searchsorted(..., side="right")
         # semantics, one frontier-wide predicate per halving.
@@ -424,14 +536,13 @@ def _wrw_alias_kernel(sampler, n, streams):
     prob = sampler._alias_tables.prob
     alias = sampler._alias_tables.alias
     total = n + sampler._burn_in
-    cur, rand = _frontier_setup(sampler, streams, 1, total)
-    step_rand = rand[0]
+    cur, variates = _frontier_setup(sampler, streams, 1, total)
     isolated = _isolated_mask(degrees)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
         if isolated is not None:
             _check_frontier(isolated, cur, "weighted walk")
-        u = step_rand[i] * degrees[cur]
+        u = variates.step(i)[0] * degrees[cur]
         j = u.astype(np.int64)
         arc = indptr[cur] + j
         cur = np.where(u - j < prob[arc], indices[arc], indices[alias[arc]])
@@ -447,19 +558,19 @@ def _rwj_kernel(sampler, n, streams):
     num_nodes = graph.num_nodes
     alpha = sampler._alpha
     total = n + sampler._burn_in
-    cur, rand = _frontier_setup(sampler, streams, 2, total)
-    jump_rand, step_rand = rand[0], rand[1]
+    cur, variates = _frontier_setup(sampler, streams, 2, total)
     last = max(len(indices) - 1, 0)
     out = np.empty((total, len(streams)), dtype=np.int64)
     for i in range(total):
+        jump_rand, step_rand = variates.step(i)
         deg = degrees[cur]
-        jump = jump_rand[i] * (deg + alpha) < alpha
+        jump = jump_rand * (deg + alpha) < alpha
         # A zero-degree frontier walker always jumps (its rand < 1), so
         # the clamped gather below is never *used* out of range.
         stepped = indices[
-            np.minimum(indptr[cur] + (step_rand[i] * deg).astype(np.int64), last)
+            np.minimum(indptr[cur] + (step_rand * deg).astype(np.int64), last)
         ]
-        cur = np.where(jump, (step_rand[i] * num_nodes).astype(np.int64), stepped)
+        cur = np.where(jump, (step_rand * num_nodes).astype(np.int64), stepped)
         out[i] = cur
     nodes = np.ascontiguousarray(out[sampler._burn_in :].T)
     return nodes, degrees[nodes].astype(float) + alpha
@@ -476,7 +587,7 @@ def _multigraph_kernel(sampler, n, streams):
     union = sampler.union
     indptr, indices = union.indptr, union.indices
     degrees = union.total_degrees
-    cur, rand = _frontier_setup(
+    cur, variates = _frontier_setup(
         sampler,
         streams,
         1,
@@ -485,13 +596,13 @@ def _multigraph_kernel(sampler, n, streams):
             None if sampler._start is not None else np.flatnonzero(degrees > 0)
         ),
     )
-    step_rand = rand[0]
     isolated = _isolated_mask(degrees)
     out = np.empty((n, len(streams)), dtype=np.int64)
     for i in range(n):
         if isolated is not None:
             _check_frontier(isolated, cur, "multigraph walk")
-        cur = indices[indptr[cur] + (step_rand[i] * degrees[cur]).astype(np.int64)]
+        step_rand = variates.step(i)
+        cur = indices[indptr[cur] + (step_rand[0] * degrees[cur]).astype(np.int64)]
         out[i] = cur
     nodes = np.ascontiguousarray(out.T)
     return nodes, degrees[nodes].astype(float)

@@ -125,6 +125,19 @@ class IncrementalPrefixLadder:
         """Full sample length (the largest valid prefix)."""
         return self._num_draws
 
+    def fold(self, size: int) -> None:
+        """Advance the prefix state to ``size`` without estimating.
+
+        The resume path of the parallel executor
+        (:mod:`repro.runtime`): rungs already persisted in a checkpoint
+        are replayed from disk, and each worker only *folds* its
+        replicates past them. Folding is pure integer multiplicity
+        accumulation — order-free and exact — so the estimates of every
+        later rung are bit-identical whether the earlier rungs were
+        computed or skipped.
+        """
+        self._fold(size)
+
     def _fold(self, size: int) -> None:
         """Fold draws ``[prefix, size)`` into the multiplicity state."""
         if size <= self._prefix:

@@ -21,10 +21,20 @@ reference twin kept for equivalence testing and benchmarking:
   (:class:`~repro.stats.prefix.IncrementalPrefixLadder`);
   ``ladder="subset"`` re-subsets every rung from scratch via
   ``subset_draws``. Again bit-for-bit identical estimates.
+
+A third axis, orthogonal to both, shards the R replicates across
+*processes*: ``executor="process"`` hands the sweep to the
+:mod:`repro.runtime` executor, which publishes the graph arrays once
+via shared memory, reconstructs each replicate's RNG stream from its
+spawned seed (so shard assignment cannot change a trajectory), and
+reduces the per-replicate estimate rows exactly as the serial path
+does — the resulting :class:`SweepResult` is bit-identical for any
+worker count, and supports rung-level checkpoint/resume.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from functools import partial
@@ -106,6 +116,10 @@ def run_nrmse_sweep(
     mean_degree_model: str = "per-category",
     engine: str = "batched",
     ladder: str = "incremental",
+    executor: "str | object | None" = None,
+    workers: int | None = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: "bool | None" = None,
 ) -> SweepResult:
     """Sweep NRMSE vs sample size with freshly drawn replicate samples.
 
@@ -127,10 +141,51 @@ def run_nrmse_sweep(
         trajectories are bit-for-bit identical either way.
     ladder:
         Forwarded to :func:`run_nrmse_sweep_from_samples`.
+    executor:
+        ``"serial"`` (in-process, the default), ``"process"`` (the
+        :mod:`repro.runtime` shared-memory multi-process executor), or
+        an executor instance. ``None`` defers to the ambient runtime
+        configuration (:func:`repro.runtime.runtime_options`, else the
+        ``REPRO_EXECUTOR``/``REPRO_WORKERS`` environment variables,
+        else serial). Output is bit-identical across executors and
+        worker counts.
+    workers / checkpoint / resume:
+        Process-executor knobs: shard count, the checkpoint root
+        directory (a manifest-keyed per-sweep subdirectory is created
+        under it, with one file per completed ladder rung), and whether
+        a matching checkpoint should be continued instead of restarted
+        (``None`` defers to the ambient configuration). Ignored by the
+        serial executor; rejected alongside an executor *instance*,
+        which already carries its own configuration.
     """
     sizes = _validated_sizes(sample_sizes)
     gen = ensure_rng(rng)
+    if engine not in ("batched", "sequential"):
+        raise EstimationError(
+            f"unknown engine {engine!r}; use 'batched' or 'sequential'"
+        )
     sampler_or_factory = sampler_factory
+    from repro.runtime.config import resolve_executor  # deferred: cycle
+
+    active = resolve_executor(executor, workers, checkpoint, resume)
+    if active is not None:
+        sampler = (
+            sampler_or_factory
+            if isinstance(sampler_or_factory, Sampler)
+            else sampler_or_factory()
+        )
+        return active.run(
+            graph,
+            partition,
+            sampler,
+            sizes,
+            replications,
+            gen,
+            engine=engine,
+            ladder=ladder,
+            weight_size_plugin=weight_size_plugin,
+            mean_degree_model=mean_degree_model,
+        )
     if engine == "batched":
         sampler = (
             sampler_or_factory
@@ -138,7 +193,7 @@ def run_nrmse_sweep(
             else sampler_or_factory()
         )
         samples = list(sampler.sample_many(int(sizes[-1]), replications, rng=gen))
-    elif engine == "sequential":
+    else:
         samples = []
         for stream in spawn_rngs(gen, replications):
             sampler = (
@@ -147,10 +202,6 @@ def run_nrmse_sweep(
                 else sampler_or_factory()
             )
             samples.append(sampler.sample(int(sizes[-1]), rng=stream))
-    else:
-        raise EstimationError(
-            f"unknown engine {engine!r}; use 'batched' or 'sequential'"
-        )
     return run_nrmse_sweep_from_samples(
         graph,
         partition,
@@ -215,14 +266,34 @@ def run_nrmse_sweep_from_samples(
             graph, partition, sample, sizes, ladder, n_pop, mean_degree_model
         )
         for si, rung in enumerate(rungs):
-            size_stacks["induced"][rep, si] = rung.sizes_induced
-            size_stacks["star"][rep, si] = rung.sizes_star
-            weight_stacks["induced"][rep, si] = rung.weights_induced
-            plugin = _plugin_sizes(
-                weight_size_plugin, rung.sizes_star, rung.sizes_induced, truth
-            )
-            weight_stacks["star"][rep, si] = rung.weights_star(plugin)
+            rows = _rung_rows(rung, weight_size_plugin, truth.sizes)
+            size_stacks["induced"][rep, si] = rows[0]
+            size_stacks["star"][rep, si] = rows[1]
+            weight_stacks["induced"][rep, si] = rows[2]
+            weight_stacks["star"][rep, si] = rows[3]
 
+    return _reduce_stacks(
+        sizes, size_stacks, weight_stacks, truth, truth_mode
+    )
+
+
+def _reduce_stacks(
+    sizes: np.ndarray,
+    size_stacks: dict[str, np.ndarray],
+    weight_stacks: dict[str, np.ndarray],
+    truth: CategoryGraph,
+    truth_mode: str,
+) -> SweepResult:
+    """Reduce per-replicate estimate stacks to the NRMSE surfaces.
+
+    Shared by the serial path above and the parallel executor
+    (:mod:`repro.runtime`): the stacks are indexed by *absolute*
+    replicate, so however the rows were computed — in-process or
+    sharded across workers — the reduction here is the same
+    floating-point program and the result is bit-identical.
+    """
+    k = sizes.shape[0]
+    c = truth.sizes.shape[0]
     size_nrmse, size_cov, weight_nrmse, weight_cov = {}, {}, {}, {}
     for kind in KINDS:
         if truth_mode == "cross-sample":
@@ -262,6 +333,27 @@ def run_nrmse_sweep_from_samples(
     )
 
 
+def _subset_rung(
+    star_full,
+    induced_full,
+    size: int,
+    n_pop: float,
+    mean_degree_model: str,
+) -> RungEstimates:
+    """One rung of the ``ladder="subset"`` reference path."""
+    prefix = np.arange(int(size))
+    star_obs = star_full.subset_draws(prefix)
+    induced_obs = induced_full.subset_draws(prefix)
+    return RungEstimates(
+        sizes_induced=estimate_sizes_induced(induced_obs, n_pop),
+        sizes_star=estimate_sizes_star(
+            star_obs, n_pop, mean_degree_model=mean_degree_model
+        ),
+        weights_induced=estimate_weights_induced(induced_obs),
+        weights_star=partial(estimate_weights_star, star_obs),
+    )
+
+
 def _ladder_rungs(
     graph: Graph,
     partition: CategoryPartition,
@@ -282,27 +374,46 @@ def _ladder_rungs(
         star_full = observe_star(graph, partition, sample)
         induced_full = observe_induced(graph, partition, sample)
         for size in sizes:
-            prefix = np.arange(int(size))
-            star_obs = star_full.subset_draws(prefix)
-            induced_obs = induced_full.subset_draws(prefix)
-            yield RungEstimates(
-                sizes_induced=estimate_sizes_induced(induced_obs, n_pop),
-                sizes_star=estimate_sizes_star(
-                    star_obs, n_pop, mean_degree_model=mean_degree_model
-                ),
-                weights_induced=estimate_weights_induced(induced_obs),
-                weights_star=partial(estimate_weights_star, star_obs),
+            yield _subset_rung(
+                star_full, induced_full, size, n_pop, mean_degree_model
             )
+
+
+def _rung_rows(
+    rung: RungEstimates,
+    weight_size_plugin: str,
+    truth_sizes: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One replicate's estimate rows at one rung, plug-in resolved.
+
+    The single code path that turns a :class:`RungEstimates` into the
+    four stack rows — serial sweeps and executor workers both call it,
+    which is what makes the parallel stacks bit-identical to the serial
+    ones.
+    """
+    plugin = _plugin_sizes(
+        weight_size_plugin, rung.sizes_star, rung.sizes_induced, truth_sizes
+    )
+    return (
+        rung.sizes_induced,
+        rung.sizes_star,
+        rung.weights_induced,
+        rung.weights_star(plugin),
+    )
 
 
 def _plugin_sizes(
     plugin: str,
     sizes_star: np.ndarray,
     sizes_induced: np.ndarray,
-    truth: CategoryGraph,
+    truth_sizes: np.ndarray | None,
 ) -> np.ndarray:
     if plugin == "true":
-        return truth.sizes
+        if truth_sizes is None:
+            raise EstimationError(
+                "weight_size_plugin='true' needs the oracle category sizes"
+            )
+        return truth_sizes
     if plugin == "induced":
         return sizes_induced
     # star with induced fallback where the star estimator is undefined

@@ -119,3 +119,32 @@ class TestCache:
         ):
             with pytest.raises(ValueError):
                 array[0] = 0
+
+
+class TestWeakCache:
+    """union_csr memoizes without pinning merges for the process lifetime."""
+
+    def test_entries_die_with_their_last_reference(self):
+        import gc
+        import weakref
+
+        from repro.graph.union import _UNION_CACHE
+
+        relations = (gnm(40, 60, rng=21), gnm(40, 50, rng=22))
+        merged = union_csr(relations)
+        assert union_csr(relations) is merged  # cached while referenced
+        probe = weakref.ref(merged)
+        before = len(_UNION_CACHE)
+        del merged
+        gc.collect()
+        assert probe() is None, "cache kept the merge alive"
+        assert len(_UNION_CACHE) < before
+
+    def test_remerge_after_eviction_is_equivalent(self):
+        import gc
+
+        relations = (gnm(25, 30, rng=31), gnm(25, 20, rng=32))
+        first_indices = union_csr(relations).indices.copy()
+        gc.collect()
+        again = union_csr(relations)
+        np.testing.assert_array_equal(again.indices, first_indices)

@@ -1,0 +1,162 @@
+"""Checkpoint/resume: a killed sweep resumes bit-identically.
+
+The scenario the subsystem exists for: a paper-scale run dies after
+rung ``k``; re-running with ``resume=True`` must (a) reuse the
+persisted samples and completed rungs rather than recomputing them and
+(b) finish with output bit-identical to the uninterrupted run — even
+with a different worker count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.generators import planted_category_graph
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.sampling import StratifiedWeightedWalkSampler
+from repro.stats import run_nrmse_sweep
+
+from tests.runtime.test_executor import assert_sweeps_equal
+
+LADDER = (40, 120, 360)
+REPLICATIONS = 6
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph, partition = planted_category_graph(k=6, scale=60, rng=7)
+    return graph, partition
+
+
+@pytest.fixture(scope="module")
+def serial(world):
+    graph, partition = world
+    return run_nrmse_sweep(
+        graph,
+        partition,
+        StratifiedWeightedWalkSampler(graph, partition),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+        executor="serial",
+    )
+
+
+def _run(world, root, *, workers=2, resume=False, rng=SEED):
+    graph, partition = world
+    return run_nrmse_sweep(
+        graph,
+        partition,
+        StratifiedWeightedWalkSampler(graph, partition),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=rng,
+        executor="process",
+        workers=workers,
+        checkpoint=root,
+        resume=resume,
+    )
+
+
+def test_checkpointed_run_writes_manifest_samples_and_rung_files(
+    world, serial, tmp_path
+):
+    result = _run(world, tmp_path)
+    assert_sweeps_equal(serial, result, "checkpointed run")
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    names = sorted(path.name for path in sweep_dir.iterdir())
+    assert names == [
+        "manifest.json",
+        "rung_000.npz",
+        "rung_001.npz",
+        "rung_002.npz",
+        "samples.npz",
+    ]
+    manifest = json.loads((sweep_dir / "manifest.json").read_text())
+    assert manifest["design"] == "swrw"
+    assert manifest["sizes"] == list(LADDER)
+    assert len(manifest["seeds"]) == REPLICATIONS
+
+
+def test_killed_after_rung_k_resumes_bit_identically(world, serial, tmp_path):
+    _run(world, tmp_path)
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    # Simulate a kill after rung 0 completed: later rungs never landed.
+    (sweep_dir / "rung_001.npz").unlink()
+    (sweep_dir / "rung_002.npz").unlink()
+    resumed = _run(world, tmp_path, workers=3, resume=True)
+    assert_sweeps_equal(serial, resumed, "resume after rung 0")
+    assert (sweep_dir / "rung_002.npz").exists()
+
+
+def test_resume_really_reads_the_checkpoint(world, serial, tmp_path):
+    """Tampered rung rows must surface in a resumed run's output."""
+    _run(world, tmp_path)
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    path = sweep_dir / "rung_000.npz"
+    data = dict(np.load(path))
+    data["sizes_induced"] = data["sizes_induced"] + 1.0
+    np.savez(path, **data)
+    tampered = _run(world, tmp_path, resume=True)
+    assert not np.array_equal(
+        serial.size_nrmse["induced"],
+        tampered.size_nrmse["induced"],
+        equal_nan=True,
+    ), "resume ignored the persisted rung rows"
+    # A fresh (resume=False) run clears the directory and recomputes.
+    fresh = _run(world, tmp_path, resume=False)
+    assert_sweeps_equal(serial, fresh, "fresh run after tampering")
+
+
+def test_different_seeds_use_different_manifest_directories(world, tmp_path):
+    _run(world, tmp_path, rng=SEED)
+    _run(world, tmp_path, rng=SEED + 1, resume=True)
+    assert len(list(tmp_path.glob("sweep-*"))) == 2
+
+
+def test_checkpoint_rejects_size_mismatched_rungs(tmp_path):
+    checkpoint = SweepCheckpoint(tmp_path, {"probe": 1}, resume=False)
+    rows = (
+        np.ones((2, 3)),
+        np.ones((2, 3)),
+        np.ones((2, 3, 3)),
+        np.ones((2, 3, 3)),
+    )
+    checkpoint.save_rung(0, size=40, rows=rows)
+    assert checkpoint.load_rung(0, size=40) is not None
+    assert checkpoint.load_rung(0, size=99) is None
+    assert checkpoint.load_rung(1, size=40) is None
+    assert checkpoint.completed_rungs([40, 120]) == [0]
+
+
+def test_fresh_checkpoint_clears_stale_files(tmp_path):
+    first = SweepCheckpoint(tmp_path, {"probe": 2}, resume=False)
+    first.save_samples(np.zeros((2, 4), dtype=np.int64), np.ones((2, 4)))
+    assert first.samples_path.exists()
+    reopened = SweepCheckpoint(tmp_path, {"probe": 2}, resume=True)
+    assert reopened.load_samples() is not None
+    cleared = SweepCheckpoint(tmp_path, {"probe": 2}, resume=False)
+    assert cleared.load_samples() is None
+
+
+def test_fully_checkpointed_sweep_replays_without_resampling(
+    world, serial, tmp_path
+):
+    """Resuming a *finished* sweep is a pure replay from the rung files.
+
+    Observable: the early-return path never runs the sampling phase, so
+    a deleted samples.npz is not recreated (the old behavior re-walked
+    all R replicates just to throw the draws away).
+    """
+    _run(world, tmp_path)
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    (sweep_dir / "samples.npz").unlink()
+    replayed = _run(world, tmp_path, resume=True)
+    assert_sweeps_equal(serial, replayed, "pure replay")
+    assert not (sweep_dir / "samples.npz").exists(), (
+        "a fully-checkpointed resume should not resample"
+    )

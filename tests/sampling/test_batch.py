@@ -246,3 +246,62 @@ class TestWrwLocalCumsum:
         weights = np.full(len(graph.indices), 3.0)
         sampler = WeightedRandomWalkSampler(graph, weights)
         assert np.allclose(sampler.strengths, 3.0 * graph.degrees())
+
+
+class TestVariateWindows:
+    """Chunked step-window draws preserve the bit-equality contract.
+
+    The kernels no longer pre-draw the full (blocks, total, R) variate
+    cube; they hold a (blocks, window, R) buffer refilled from
+    per-stream cursors. Chunked ``Generator.random`` calls yield the
+    identical value stream, so any window size must reproduce the
+    sequential trajectories exactly — including for the two-block
+    kernels (MHRW, RWJ) whose later blocks replay past the earlier
+    blocks' draws.
+    """
+
+    @pytest.mark.parametrize("window", ["1", "7", "100000"])
+    def test_any_window_is_bit_equal_to_sequential(
+        self, medium_graph, monkeypatch, window
+    ):
+        monkeypatch.setenv("REPRO_VARIATE_WINDOW", window)
+        for sampler in (
+            RandomWalkSampler(medium_graph),
+            MetropolisHastingsSampler(medium_graph),  # two variate blocks
+            RandomWalkWithJumpsSampler(medium_graph, alpha=4.0),
+            WeightedRandomWalkSampler(medium_graph, _arc_weights(medium_graph)),
+        ):
+            _assert_batch_equals_sequential(sampler, 120, 4, seed=23)
+
+    def test_window_sizes_agree_with_each_other(self, medium_graph, monkeypatch):
+        sampler = MetropolisHastingsSampler(medium_graph)
+        monkeypatch.setenv("REPRO_VARIATE_WINDOW", "13")
+        small = sample_many(sampler, 200, 3, rng=5)
+        monkeypatch.setenv("REPRO_VARIATE_WINDOW", "1000000")
+        large = sample_many(sampler, 200, 3, rng=5)
+        assert np.array_equal(small.nodes, large.nodes)
+        assert np.array_equal(small.weights, large.weights)
+
+    def test_variate_memory_is_window_bounded(self):
+        from repro.sampling.batch import _FrontierVariates
+
+        streams = spawn_rngs(0, 8)
+        total, window = 5_000, 256
+        variates = _FrontierVariates(streams, 2, total, window=window)
+        assert variates._buf.shape == (2, window, 8)  # O(R x window), not O(R x n)
+        reference = spawn_rngs(0, 8)
+        expected = np.stack([
+            [stream.random(total), stream.random(total)] for stream in reference
+        ])  # (R, blocks, total) — the old cube, for comparison only
+        for i in range(total):  # kernels advance the frontier step by step
+            np.testing.assert_array_equal(
+                variates.step(i), expected[:, :, i].T
+            )
+
+    def test_bad_window_rejected(self, medium_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_VARIATE_WINDOW", "0")
+        with pytest.raises(SamplingError, match="variate window"):
+            sample_many(RandomWalkSampler(medium_graph), 50, 2, rng=0)
+        monkeypatch.setenv("REPRO_VARIATE_WINDOW", "not-a-number")
+        with pytest.raises(SamplingError, match="REPRO_VARIATE_WINDOW"):
+            sample_many(RandomWalkSampler(medium_graph), 50, 2, rng=0)

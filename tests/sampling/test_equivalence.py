@@ -330,3 +330,111 @@ def test_register_kernel_rejects_non_sampler():
     with pytest.raises(SamplingError):
         register_kernel(_CountingSampler, "not callable")
     assert _CountingSampler not in batch_module._KERNELS
+
+
+def _scalar_vose_reference(indptr, weights, strengths=None):
+    """The pre-vectorization per-run two-stack Vose construction.
+
+    Kept as the semantic reference for the vectorized builder: pairing
+    order may differ (stacks vs queues), but both must encode exactly
+    the probabilities ``w_j / strength(v)``.
+    """
+    from repro.sampling.alias import AliasTables
+
+    indptr = np.asarray(indptr, dtype=np.int64)
+    weights = np.asarray(weights, dtype=float)
+    prob = np.ones(len(weights))
+    alias = np.arange(len(weights), dtype=np.int64)
+    for v in range(len(indptr) - 1):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        d = hi - lo
+        if d <= 1:
+            continue
+        total = (
+            float(strengths[v])
+            if strengths is not None
+            else float(weights[lo:hi].sum())
+        )
+        scaled = (weights[lo:hi] * (d / total)).tolist()
+        small = [j for j in range(d) if scaled[j] < 1.0]
+        large = [j for j in range(d) if scaled[j] >= 1.0]
+        while small and large:
+            s = small.pop()
+            big = large.pop()
+            prob[lo + s] = scaled[s]
+            alias[lo + s] = lo + big
+            scaled[big] -= 1.0 - scaled[s]
+            (small if scaled[big] < 1.0 else large).append(big)
+    return AliasTables(prob=prob, alias=alias)
+
+
+class TestVectorizedAliasConstruction:
+    """The NumPy Vose pass against the scalar reference and the axioms."""
+
+    def _random_csr(self, rng, num_runs=120, max_degree=17):
+        degrees = rng.integers(0, max_degree, size=num_runs)
+        indptr = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        weights = rng.random(int(indptr[-1])) * 9.5 + 0.5
+        return indptr, weights
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_encodes_the_same_probabilities_as_the_scalar_pass(self, seed):
+        from repro.sampling.alias import build_alias_tables
+
+        rng = np.random.default_rng(seed)
+        indptr, weights = self._random_csr(rng)
+        vectorized = build_alias_tables(indptr, weights)
+        reference = _scalar_vose_reference(indptr, weights)
+        np.testing.assert_allclose(
+            vectorized.reconstructed_probabilities(indptr),
+            reference.reconstructed_probabilities(indptr),
+            rtol=0,
+            atol=1e-12,
+        )
+
+    def test_tables_are_structurally_valid(self):
+        from repro.sampling.alias import build_alias_tables
+
+        rng = np.random.default_rng(42)
+        indptr, weights = self._random_csr(rng, num_runs=300)
+        tables = build_alias_tables(indptr, weights)
+        assert tables.prob.min() >= 0.0
+        assert tables.prob.max() <= 1.0 + 1e-12
+        degrees = np.diff(indptr)
+        run_ids = np.repeat(np.arange(len(degrees)), degrees)
+        # every alias points inside its own run (the gather never
+        # crosses adjacency boundaries)
+        assert np.all(tables.alias >= indptr[run_ids])
+        assert np.all(tables.alias < indptr[run_ids + 1])
+        # degree-0/1 runs keep the prob-1 self-alias default
+        trivial = np.flatnonzero(degrees[run_ids] <= 1)
+        assert np.all(tables.prob[trivial] == 1.0)
+        assert np.all(tables.alias[trivial] == trivial)
+
+    def test_uniform_weights_need_no_aliasing(self):
+        from repro.sampling.alias import build_alias_tables
+
+        graph = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        weights = np.ones(len(graph.indices))
+        tables = build_alias_tables(graph.indptr, weights)
+        np.testing.assert_array_equal(tables.prob, np.ones(len(weights)))
+
+    def test_explicit_strengths_match_recomputed_totals(self, world):
+        from repro.sampling.alias import build_alias_tables
+
+        run_ids = np.repeat(
+            np.arange(world.graph.num_nodes), world.graph.degrees()
+        )
+        strengths = np.bincount(
+            run_ids, weights=world.arc_weights, minlength=world.graph.num_nodes
+        )
+        with_strengths = build_alias_tables(
+            world.graph.indptr, world.arc_weights, strengths
+        )
+        exact = world.arc_weights / strengths[run_ids]
+        np.testing.assert_allclose(
+            with_strengths.reconstructed_probabilities(world.graph.indptr),
+            exact,
+            rtol=0,
+            atol=1e-12,
+        )

@@ -8,6 +8,10 @@ NRMSE surfaces for every design — including the multigraph union-CSR
 walk and the alias-table S-WRW, whose kernels are exercised end-to-end
 through the full estimator stack here (the unit-level contracts live in
 ``tests/sampling/test_equivalence.py``).
+
+The same bar extends to the :mod:`repro.runtime` process executor:
+``executor="process", workers=2`` must reproduce the serial fast path
+bit for bit, for every registered design.
 """
 
 from __future__ import annotations
@@ -86,3 +90,41 @@ def test_fast_sweep_bit_identical_to_sequential_subset(name, world):
                 getattr(reference, attr)[kind],
                 equal_nan=True,
             ), f"{name}: {attr}[{kind}] diverged from the reference path"
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_process_executor_bit_identical_to_serial_sweep(name, world):
+    graph, partition, relation = world
+    factory = DESIGNS[name]
+    serial = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+        executor="serial",
+    )
+    parallel = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+        executor="process",
+        workers=2,
+    )
+    assert np.array_equal(serial.sample_sizes, parallel.sample_sizes)
+    for kind in ("induced", "star"):
+        for attr in (
+            "size_nrmse",
+            "weight_nrmse",
+            "size_coverage",
+            "weight_coverage",
+        ):
+            assert np.array_equal(
+                getattr(serial, attr)[kind],
+                getattr(parallel, attr)[kind],
+                equal_nan=True,
+            ), f"{name}: {attr}[{kind}] diverged between executors"
