@@ -7,17 +7,22 @@ Regenerate any table or figure of the paper::
     repro run table2 --scale medium --out results/
     repro run fig7 --seed 7
 
-or equivalently ``python -m repro ...``. Long sweeps can use all cores
-and survive being killed::
+or equivalently ``python -m repro ...``. Every experiment compiles to a
+declarative :class:`~repro.experiments.plan.SweepPlan`; ``repro
+experiment`` exposes that explicitly — inspect the compiled cell grid,
+then run it on the parallel runtime::
 
-    repro run fig4 --scale paper --workers 8 --checkpoint ckpt/
-    repro run fig4 --scale paper --workers 8 --checkpoint ckpt/ --resume
+    repro experiment fig6 --show-plan
+    repro experiment fig6 --workers 8 --checkpoint ckpt/
+    repro experiment fig6 --workers 8 --checkpoint ckpt/ --resume
 
-``--workers`` routes every replicated NRMSE sweep through the
-:mod:`repro.runtime` process executor (bit-identical output, any worker
-count); ``--checkpoint`` persists each completed ladder rung under the
-given root and ``--resume`` continues a matching checkpoint instead of
-restarting it.
+``--workers`` routes every replicated NRMSE sweep — fresh-draw and
+pre-drawn crawl cells alike — through the :mod:`repro.runtime` process
+executor (bit-identical output, any worker count); ``--checkpoint``
+persists each cell's completed ladder rungs under a plan-keyed
+directory and ``--resume`` continues a killed run at the first missing
+cell/rung. ``repro run`` accepts the same flags (the two commands share
+the plan path; ``experiment`` adds ``--show-plan``).
 """
 
 from __future__ import annotations
@@ -68,24 +73,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_arguments(report)
 
     run = commands.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", help="experiment id (see 'repro list')")
-    run.add_argument(
+    _add_experiment_arguments(run)
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="compile one experiment to its SweepPlan and run it",
+        description=(
+            "Compile an experiment to its declarative SweepPlan (the "
+            "grid of sweep/compute cells behind the figure or table) "
+            "and execute it on the parallel runtime. With --workers N "
+            "every sweep cell shards across N worker processes "
+            "(bit-identical to serial); with --checkpoint DIR each "
+            "cell persists completed ladder rungs under a plan-keyed "
+            "directory, and --resume restarts a killed run at the "
+            "first missing cell/rung."
+        ),
+    )
+    _add_experiment_arguments(experiment)
+    experiment.add_argument(
+        "--show-plan",
+        action="store_true",
+        help="print the compiled cell grid instead of running it",
+    )
+    return parser
+
+
+def _add_experiment_arguments(command: argparse.ArgumentParser) -> None:
+    """The shared single-experiment flags (``run`` and ``experiment``)."""
+    command.add_argument("experiment", help="experiment id (see 'repro list')")
+    command.add_argument(
         "--scale",
         choices=sorted(SCALE_PRESETS),
         default=None,
         help="size preset (default: $REPRO_SCALE or 'small')",
     )
-    run.add_argument(
+    command.add_argument(
         "--seed", type=int, default=0, help="master random seed (default 0)"
     )
-    run.add_argument(
+    command.add_argument(
         "--out",
         type=Path,
         default=None,
         help="directory to save CSV/JSON/text outputs",
     )
-    _add_runtime_arguments(run)
-    return parser
+    _add_runtime_arguments(command)
 
 
 def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
@@ -164,9 +195,15 @@ def main(argv: "list[str] | None" = None) -> int:
             return 1
         print(f"wrote {path}")
         return 0
-    # command == "run"
+    # command == "run" | "experiment"
     try:
         preset = active_preset(args.scale)
+        if getattr(args, "show_plan", False):
+            from repro.experiments import compile_experiment
+
+            plan = compile_experiment(args.experiment, preset=preset, rng=args.seed)
+            print(plan.describe())
+            return 0
         with _runtime_scope(args):
             results = run_experiment(
                 args.experiment, preset=preset, rng=args.seed

@@ -9,6 +9,11 @@ Five runnable studies (also asserted in ``benchmarks/bench_ablations.py``):
 * ``bfs``       — degree bias of traversal baselines (Section 8).
 
 Available from the CLI as ``repro run ablations``.
+
+The ``plugin`` study is a replicated sweep and compiles to one
+*pre-drawn* sweep cell per Eq. (16) plug-in choice (sharing the six RW
+walks as a plan resource); the other four studies are single-pass
+compute cells.
 """
 
 from __future__ import annotations
@@ -18,20 +23,86 @@ import numpy as np
 from repro.core.category_size import estimate_sizes_induced, estimate_sizes_star
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.plan import (
+    ComputeCell,
+    PlanResources,
+    SweepCell,
+    SweepJob,
+    SweepPlan,
+)
 from repro.generators.ba import barabasi_albert_graph
 from repro.generators.planted import planted_category_graph
 from repro.generators.sbm import stochastic_block_model
 from repro.rng import derive_rng
+from repro.runtime.plan import run_plan
 from repro.sampling.base import NodeSample
 from repro.sampling.convergence import autocorrelation
 from repro.sampling.observation import observe_induced, observe_star
 from repro.sampling.traversal import BreadthFirstSampler
 from repro.sampling.walks import RandomWalkSampler
-from repro.stats.replication import run_nrmse_sweep_from_samples
 
-__all__ = ["run_ablations", "ABLATIONS"]
+__all__ = ["run_ablations", "compile_ablations", "ABLATIONS"]
 
 ABLATIONS = ("hh", "footnote4", "plugin", "thinning", "bfs")
+
+#: The Eq. (16) size plug-in variants, in published row order.
+_PLUGINS = ("true", "star", "induced")
+
+
+def compile_ablations(
+    which: tuple[str, ...] = ABLATIONS,
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile the requested ablation studies to one plan."""
+    preset = preset or active_preset()
+    unknown = set(which) - set(ABLATIONS)
+    if unknown:
+        raise ValueError(f"unknown ablations: {sorted(unknown)}")
+    compute_builders = {
+        "hh": _ablation_hh,
+        "footnote4": _ablation_footnote4,
+        "thinning": _ablation_thinning,
+        "bfs": _ablation_bfs,
+    }
+    resources = {}
+    cells: list = []
+    for name in which:
+        if name == "plugin":
+            resources["plugin-walks"] = _plugin_walks_resource(preset, rng)
+            for plugin in _PLUGINS:
+                cells.append(_plugin_cell(plugin))
+        else:
+            builder = compute_builders[name]
+            cells.append(
+                ComputeCell(
+                    key=name,
+                    compute=(
+                        lambda resources, b=builder: b(preset, rng)
+                    ),
+                    axes={"study": name},
+                )
+            )
+
+    def finalize(
+        outputs: dict[str, object], resources: PlanResources
+    ) -> dict[str, ExperimentResult]:
+        results: dict[str, ExperimentResult] = {}
+        for name in which:
+            if name == "plugin":
+                result = _plugin_result(outputs)
+            else:
+                result = outputs[name]
+            results[result.experiment_id] = result
+        return results
+
+    return SweepPlan(
+        name="ablations",
+        cells=tuple(cells),
+        finalize=finalize,
+        resources=resources,
+        context={"scale": preset.name, "seed": int(rng), "which": which},
+    )
 
 
 def run_ablations(
@@ -40,22 +111,55 @@ def run_ablations(
     rng: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run the requested ablations; returns ``{id: ExperimentResult}``."""
-    preset = preset or active_preset()
-    unknown = set(which) - set(ABLATIONS)
-    if unknown:
-        raise ValueError(f"unknown ablations: {sorted(unknown)}")
-    builders = {
-        "hh": _ablation_hh,
-        "footnote4": _ablation_footnote4,
-        "plugin": _ablation_plugin,
-        "thinning": _ablation_thinning,
-        "bfs": _ablation_bfs,
-    }
-    results = {}
-    for name in which:
-        result = builders[name](preset, rng)
-        results[result.experiment_id] = result
-    return results
+    return run_plan(compile_ablations(which=which, preset=preset, rng=rng))
+
+
+def _plugin_walks_resource(preset: ScalePreset, rng: int):
+    def factory():
+        graph, partition = planted_category_graph(
+            k=12, scale=preset.planted_scale, rng=derive_rng(rng, 84)
+        )
+        streams = [derive_rng(rng, 85, i) for i in range(6)]
+        walks = [RandomWalkSampler(graph).sample(3000, rng=s) for s in streams]
+        return graph, partition, walks
+
+    return factory
+
+
+def _plugin_cell(plugin: str) -> SweepCell:
+    def build(resources: PlanResources) -> SweepJob:
+        graph, partition, walks = resources["plugin-walks"]
+        return SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=(3000,),
+            samples=walks,
+            weight_size_plugin=plugin,
+        )
+
+    return SweepCell(
+        key=f"plugin:{plugin}",
+        build=build,
+        axes={"study": "plugin", "weight_size_plugin": plugin},
+    )
+
+
+def _plugin_result(outputs: dict[str, object]) -> ExperimentResult:
+    rows = [
+        (
+            plugin,
+            round(
+                float(outputs[f"plugin:{plugin}"].median_weight_nrmse("star")[0]),
+                4,
+            ),
+        )
+        for plugin in _PLUGINS
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_plugin",
+        title="Eq. (16) size plug-in: median NRMSE(w) under RW",
+        table=(("plug-in", "median NRMSE"), rows),
+    )
 
 
 def _ablation_hh(preset: ScalePreset, rng: int) -> ExperimentResult:
@@ -115,25 +219,6 @@ def _ablation_footnote4(preset: ScalePreset, rng: int) -> ExperimentResult:
             "finite_per_category": int(np.sum(np.isfinite(per_category))),
             "finite_global": int(np.sum(np.isfinite(global_model))),
         },
-    )
-
-
-def _ablation_plugin(preset: ScalePreset, rng: int) -> ExperimentResult:
-    graph, partition = planted_category_graph(
-        k=12, scale=preset.planted_scale, rng=derive_rng(rng, 84)
-    )
-    streams = [derive_rng(rng, 85, i) for i in range(6)]
-    walks = [RandomWalkSampler(graph).sample(3000, rng=s) for s in streams]
-    rows = []
-    for plugin in ("true", "star", "induced"):
-        sweep = run_nrmse_sweep_from_samples(
-            graph, partition, walks, (3000,), weight_size_plugin=plugin
-        )
-        rows.append((plugin, round(float(sweep.median_weight_nrmse("star")[0]), 4)))
-    return ExperimentResult(
-        experiment_id="ablation_plugin",
-        title="Eq. (16) size plug-in: median NRMSE(w) under RW",
-        table=(("plug-in", "median NRMSE"), rows),
     )
 
 

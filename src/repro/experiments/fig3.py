@@ -11,7 +11,8 @@ Eight panels, two rows:
 
 Every panel compares induced-subgraph (Eq. 4/8) against star (Eq. 5/9)
 estimators under UIS. Five underlying graph configurations serve all
-eight panels; each is swept once and shared.
+eight panels; each compiles to one fresh-draw cell of the experiment's
+:class:`~repro.experiments.plan.SweepPlan` and is swept once and shared.
 """
 
 from __future__ import annotations
@@ -20,13 +21,15 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.plan import PlanResources, SweepCell, SweepJob, SweepPlan
 from repro.generators.planted import PlantedModelConfig, planted_category_graph
 from repro.rng import derive_rng
+from repro.runtime.plan import run_plan
 from repro.sampling.independence import UniformIndependenceSampler
 from repro.stats.percentiles import percentile_edge
-from repro.stats.replication import SweepResult, run_nrmse_sweep
+from repro.stats.replication import SweepResult
 
-__all__ = ["run_fig3", "FIG3_PANELS"]
+__all__ = ["run_fig3", "compile_fig3", "FIG3_PANELS"]
 
 FIG3_PANELS = ("a", "b", "c", "d", "e", "f", "g", "h")
 
@@ -40,6 +43,46 @@ _CONFIGS = {
 }
 
 
+def compile_fig3(
+    panels: tuple[str, ...] = FIG3_PANELS,
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile the requested Fig. 3 panels to a sweep plan.
+
+    One fresh-draw cell per needed graph configuration (panels share
+    configurations, so e.g. panels a+e compile to two cells, not four);
+    ``finalize`` assembles the panel series/CDFs from the cell sweeps.
+    """
+    preset = preset or active_preset()
+    unknown = set(panels) - set(FIG3_PANELS)
+    if unknown:
+        raise ValueError(f"unknown Fig. 3 panels: {sorted(unknown)}")
+    needed = _configs_needed(panels)
+    cells = tuple(
+        _config_cell(key, preset, rng)
+        for key in _CONFIGS
+        if key in needed
+    )
+
+    def finalize(
+        outputs: dict[str, object], resources: PlanResources
+    ) -> dict[str, ExperimentResult]:
+        results: dict[str, ExperimentResult] = {}
+        sizes_note = {"scale": preset.name, "replications": preset.replications}
+        for panel in panels:
+            result = _PANEL_BUILDERS[panel](outputs, preset, sizes_note)
+            results[result.experiment_id] = result
+        return results
+
+    return SweepPlan(
+        name="fig3",
+        cells=cells,
+        finalize=finalize,
+        context={"scale": preset.name, "seed": int(rng), "panels": panels},
+    )
+
+
 def run_fig3(
     panels: tuple[str, ...] = FIG3_PANELS,
     preset: ScalePreset | None = None,
@@ -50,20 +93,7 @@ def run_fig3(
     Returns ``{panel: ExperimentResult}`` with NRMSE-vs-|S| series (or
     CDFs for panels d/h).
     """
-    preset = preset or active_preset()
-    unknown = set(panels) - set(FIG3_PANELS)
-    if unknown:
-        raise ValueError(f"unknown Fig. 3 panels: {sorted(unknown)}")
-    needed = _configs_needed(panels)
-    sweeps = {
-        key: _sweep_config(key, preset, rng) for key in needed
-    }
-    results: dict[str, ExperimentResult] = {}
-    sizes_note = {"scale": preset.name, "replications": preset.replications}
-    for panel in panels:
-        result = _PANEL_BUILDERS[panel](sweeps, preset, sizes_note)
-        results[result.experiment_id] = result
-    return results
+    return run_plan(compile_fig3(panels=panels, preset=preset, rng=rng))
 
 
 def _configs_needed(panels: tuple[str, ...]) -> set[str]:
@@ -83,24 +113,29 @@ def _configs_needed(panels: tuple[str, ...]) -> set[str]:
     return needed
 
 
-def _sweep_config(key: str, preset: ScalePreset, rng: int) -> SweepResult:
+def _config_cell(key: str, preset: ScalePreset, rng: int) -> SweepCell:
     k, alpha = _CONFIGS[key]
     key_index = list(_CONFIGS).index(key)  # stable across processes
-    config = PlantedModelConfig(k=k, alpha=alpha, scale=preset.planted_scale)
-    graph, partition = planted_category_graph(
-        config, rng=derive_rng(rng, 3, key_index)
-    )
-    sizes = _clip_sizes(preset.fig3_sample_sizes, graph.num_nodes, preset)
-    # The sampler is passed directly: the batched engine draws all
-    # replicates in one vectorized pass (per-replicate RNG streams keep
-    # replications independent and reproducible).
-    return run_nrmse_sweep(
-        graph,
-        partition,
-        UniformIndependenceSampler(graph),
-        sizes,
-        replications=preset.replications,
-        rng=derive_rng(rng, 4, key_index),
+
+    def build(resources: PlanResources) -> SweepJob:
+        config = PlantedModelConfig(k=k, alpha=alpha, scale=preset.planted_scale)
+        graph, partition = planted_category_graph(
+            config, rng=derive_rng(rng, 3, key_index)
+        )
+        sizes = _clip_sizes(preset.fig3_sample_sizes, graph.num_nodes, preset)
+        return SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=sizes,
+            sampler=UniformIndependenceSampler(graph),
+            replications=preset.replications,
+            rng=derive_rng(rng, 4, key_index),
+        )
+
+    return SweepCell(
+        key=key,
+        build=build,
+        axes={"design": "uis", "k": k, "alpha": alpha, "R": preset.replications},
     )
 
 

@@ -4,6 +4,10 @@ The paper plots, for each crawl dataset, the (sorted) number of draws
 landing in each regional network (2009, top) or college (2010, bottom),
 showing (i) decades of spread across categories and (ii) S-WRW's
 order-of-magnitude boost of small-college coverage over RW.
+
+Compiles to one compute cell per panel over the shared Facebook-world
+plan resource (no replicated sweeps — the counts are a single pass over
+the pre-drawn walks).
 """
 
 from __future__ import annotations
@@ -12,9 +16,42 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
-from repro.experiments.shared import build_world_and_crawls
+from repro.experiments.plan import ComputeCell, PlanResources, SweepPlan
+from repro.experiments.shared import build_world_and_crawls, year_partition
+from repro.runtime.plan import run_plan
 
-__all__ = ["run_fig5"]
+__all__ = ["run_fig5", "compile_fig5"]
+
+_PANELS = (
+    ("a", 2009),
+    ("b", 2010),
+)
+
+
+def compile_fig5(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile Fig. 5 to one compute cell per panel."""
+    preset = preset or active_preset()
+    resources = {"world": lambda: build_world_and_crawls(preset, rng)}
+    cells = tuple(
+        ComputeCell(
+            key=f"fig5{panel}",
+            compute=_panel_builder(panel, year, preset),
+            axes={"panel": panel, "year": year},
+        )
+        for panel, year in _PANELS
+    )
+
+    # Each compute cell already produces its finished panel result, so
+    # the default identity finalize applies.
+    return SweepPlan(
+        name="fig5",
+        cells=cells,
+        resources=resources,
+        context={"scale": preset.name, "seed": int(rng)},
+    )
 
 
 def run_fig5(
@@ -22,13 +59,13 @@ def run_fig5(
     rng: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Regenerate Fig. 5(a) (2009 regions) and 5(b) (2010 colleges)."""
-    preset = preset or active_preset()
-    world, datasets = build_world_and_crawls(preset, rng)
-    results: dict[str, ExperimentResult] = {}
-    for panel, year, partition, catchall in (
-        ("a", 2009, world.regions_2009, world.undeclared_index),
-        ("b", 2010, world.colleges_2010, world.none_college_index),
-    ):
+    return run_plan(compile_fig5(preset=preset, rng=rng))
+
+
+def _panel_builder(panel: str, year: int, preset: ScalePreset):
+    def compute(resources: PlanResources) -> ExperimentResult:
+        world, datasets = resources["world"]
+        partition, catchall = year_partition(world, year)
         series = {}
         for name, dataset in datasets.items():
             if dataset.year != year:
@@ -40,7 +77,7 @@ def run_fig5(
             ordered = np.sort(per_category)[::-1].astype(float)
             ranks = np.arange(1, len(ordered) + 1, dtype=float)
             series[name] = (ranks, ordered)
-        results[f"fig5{panel}"] = ExperimentResult(
+        return ExperimentResult(
             experiment_id=f"fig5{panel}",
             title=f"samples per category (sorted), {year} datasets",
             series=series,
@@ -50,4 +87,5 @@ def run_fig5(
             },
             log_axes=True,
         )
-    return results
+
+    return compute

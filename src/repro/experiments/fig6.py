@@ -8,9 +8,13 @@ The paper used the cross-sample average as "ground truth" (it had no
 oracle); our substrate is synthetic so we score against *true* values
 by default, and optionally reproduce the paper's convention.
 
-The walks come pre-drawn from the batched crawl simulator
-(:mod:`repro.facebook.crawls`) and each sweep resolves its size ladder
-through incremental prefix aggregates (``ladder="incremental"``, the
+The experiment compiles to one *pre-drawn* sweep cell per crawl
+dataset: the synthetic world and its five simulated crawl collections
+(:func:`~repro.experiments.shared.build_world_and_crawls`) are a plan
+resource built once and shared by every cell — and published to worker
+shards once via shared memory when the plan runs in parallel. Each
+cell's replicate walks resolve their size ladder through incremental
+prefix aggregates (``ladder="incremental"``, the
 :func:`~repro.stats.replication.run_nrmse_sweep_from_samples` default).
 """
 
@@ -20,10 +24,93 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
-from repro.experiments.shared import build_world_and_crawls
-from repro.stats.replication import run_nrmse_sweep_from_samples
+from repro.experiments.plan import PlanResources, SweepCell, SweepJob, SweepPlan
+from repro.experiments.shared import build_world_and_crawls, year_partition
+from repro.runtime.plan import run_plan
 
-__all__ = ["run_fig6"]
+__all__ = ["run_fig6", "compile_fig6"]
+
+#: Crawl dataset -> category year, in series order.
+_DATASETS = {
+    "MHRW09": 2009,
+    "RW09": 2009,
+    "UIS09": 2009,
+    "RW10": 2010,
+    "S-WRW10": 2010,
+}
+
+_YEARS = (
+    (2009, "a", "c"),
+    (2010, "b", "d"),
+)
+
+
+def compile_fig6(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile Fig. 6 to one pre-drawn sweep cell per crawl dataset."""
+    preset = preset or active_preset()
+    resources = {"world": lambda: build_world_and_crawls(preset, rng)}
+    cells = tuple(
+        _dataset_cell(name, year, preset) for name, year in _DATASETS.items()
+    )
+
+    def finalize(
+        outputs: dict[str, object], resources: PlanResources
+    ) -> dict[str, ExperimentResult]:
+        world, datasets = resources["world"]
+        results: dict[str, ExperimentResult] = {}
+        for year, size_panel, weight_panel in _YEARS:
+            partition, catchall = year_partition(world, year)
+            # "100 most popular" categories, excluding the catch-all.
+            true_sizes = partition.sizes().astype(float)
+            true_sizes[catchall] = -1
+            top = np.argsort(-true_sizes)[: preset.top_categories]
+            top = top[true_sizes[top] > 0]
+            pairs = _positive_pairs(world, partition, top)
+
+            size_series, weight_series = {}, {}
+            for name, dataset_year in _DATASETS.items():
+                if dataset_year != year:
+                    continue
+                sweep = outputs[name]
+                for kind in ("induced", "star"):
+                    size_series[f"{name}/{kind}"] = (
+                        sweep.sample_sizes,
+                        sweep.median_size_nrmse(kind, categories=top),
+                    )
+                    weight_series[f"{name}/{kind}"] = (
+                        sweep.sample_sizes,
+                        sweep.median_weight_nrmse(kind, pairs=pairs),
+                    )
+            note = {
+                "year": year,
+                "top_categories": len(top),
+                "scored_pairs": len(pairs),
+                "scale": preset.name,
+            }
+            results[f"fig6{size_panel}"] = ExperimentResult(
+                experiment_id=f"fig6{size_panel}",
+                title=f"median NRMSE(|A|) vs |S|, {year} categories",
+                series=size_series,
+                notes=note,
+            )
+            results[f"fig6{weight_panel}"] = ExperimentResult(
+                experiment_id=f"fig6{weight_panel}",
+                title=f"median NRMSE(w) vs |S|, {year} categories",
+                series=weight_series,
+                notes=note,
+            )
+        return results
+
+    return SweepPlan(
+        name="fig6",
+        cells=cells,
+        finalize=finalize,
+        resources=resources,
+        context={"scale": preset.name, "seed": int(rng)},
+    )
 
 
 def run_fig6(
@@ -31,60 +118,30 @@ def run_fig6(
     rng: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Regenerate Fig. 6 panels a-d."""
-    preset = preset or active_preset()
-    world, datasets = build_world_and_crawls(preset, rng)
-    results: dict[str, ExperimentResult] = {}
+    return run_plan(compile_fig6(preset=preset, rng=rng))
 
-    for year, partition, catchall, size_panel, weight_panel in (
-        (2009, world.regions_2009, world.undeclared_index, "a", "c"),
-        (2010, world.colleges_2010, world.none_college_index, "b", "d"),
-    ):
-        # "100 most popular" categories, excluding the catch-all.
-        true_sizes = partition.sizes().astype(float)
-        true_sizes[catchall] = -1
-        top = np.argsort(-true_sizes)[: preset.top_categories]
-        top = top[true_sizes[top] > 0]
-        pairs = _positive_pairs(world, partition, top)
 
-        size_series, weight_series = {}, {}
-        for name, dataset in datasets.items():
-            if dataset.year != year:
-                continue
-            max_size = min(walk.size for walk in dataset.walks)
-            sizes = tuple(
-                s for s in preset.fig6_sample_sizes if s <= max_size
-            ) or (max_size,)
-            sweep = run_nrmse_sweep_from_samples(
-                world.graph, partition, dataset.walks, sizes
-            )
-            for kind in ("induced", "star"):
-                size_series[f"{name}/{kind}"] = (
-                    sweep.sample_sizes,
-                    sweep.median_size_nrmse(kind, categories=top),
-                )
-                weight_series[f"{name}/{kind}"] = (
-                    sweep.sample_sizes,
-                    sweep.median_weight_nrmse(kind, pairs=pairs),
-                )
-        note = {
-            "year": year,
-            "top_categories": len(top),
-            "scored_pairs": len(pairs),
-            "scale": preset.name,
-        }
-        results[f"fig6{size_panel}"] = ExperimentResult(
-            experiment_id=f"fig6{size_panel}",
-            title=f"median NRMSE(|A|) vs |S|, {year} categories",
-            series=size_series,
-            notes=note,
+def _dataset_cell(name: str, year: int, preset: ScalePreset) -> SweepCell:
+    def build(resources: PlanResources) -> SweepJob:
+        world, datasets = resources["world"]
+        dataset = datasets[name]
+        partition, _ = year_partition(world, year)
+        max_size = min(walk.size for walk in dataset.walks)
+        sizes = tuple(
+            s for s in preset.fig6_sample_sizes if s <= max_size
+        ) or (max_size,)
+        return SweepJob(
+            graph=world.graph,
+            partition=partition,
+            sizes=sizes,
+            samples=dataset.walks,
         )
-        results[f"fig6{weight_panel}"] = ExperimentResult(
-            experiment_id=f"fig6{weight_panel}",
-            title=f"median NRMSE(w) vs |S|, {year} categories",
-            series=weight_series,
-            notes=note,
-        )
-    return results
+
+    return SweepCell(
+        key=name,
+        build=build,
+        axes={"crawl": name, "year": year, "mode": "predrawn"},
+    )
 
 
 def _positive_pairs(world, partition, top: np.ndarray) -> np.ndarray:

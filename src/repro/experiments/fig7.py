@@ -9,6 +9,9 @@ Regenerates the three published maps from simulated crawls:
 Each result carries the top-weighted edges as a table, a JSON export of
 the full weighted graph, and the distance-vs-weight rank correlation
 that formalises the paper's visual "physical distance matters" claims.
+
+Compiles to one compute cell per map panel over the shared
+Facebook-world plan resource.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.plan import ComputeCell, PlanResources, SweepPlan
 from repro.experiments.shared import build_world_and_crawls
 from repro.facebook.geosocial import (
     country_partition,
@@ -27,8 +31,82 @@ from repro.facebook.geosocial import (
 )
 from repro.graph.category_graph import true_category_graph
 from repro.graph.io import category_graph_to_json
+from repro.runtime.plan import run_plan
 
-__all__ = ["run_fig7"]
+__all__ = ["run_fig7", "compile_fig7"]
+
+
+def compile_fig7(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+    top_edges: int = 15,
+) -> SweepPlan:
+    """Compile Fig. 7 to one compute cell per published map."""
+    preset = preset or active_preset()
+    resources = {"world": lambda: build_world_and_crawls(preset, rng)}
+
+    def panel_a(resources: PlanResources) -> ExperimentResult:
+        world, datasets = resources["world"]
+        countries = estimate_country_graph(world, datasets)
+        country_pos = _country_positions(world, countries.names)
+        corr_a = distance_weight_correlation(world, countries, country_pos)
+        truth_a = true_category_graph(world.graph, country_partition(world))
+        return _result(
+            "fig7a",
+            "country-to-country friendship graph",
+            countries,
+            top_edges,
+            {
+                "distance_weight_rank_corr": round(corr_a, 3),
+                "true_corr": round(
+                    distance_weight_correlation(world, truth_a, country_pos), 3
+                ),
+            },
+        )
+
+    def panel_b(resources: PlanResources) -> ExperimentResult:
+        world, datasets = resources["world"]
+        north_america = estimate_north_america_graph(world, datasets)
+        na_pos = _region_positions(world, north_america.names)
+        corr_b = distance_weight_correlation(world, north_america, na_pos)
+        return _result(
+            "fig7b",
+            "North-America county-level friendship graph",
+            north_america,
+            top_edges,
+            {"distance_weight_rank_corr": round(corr_b, 3)},
+        )
+
+    def panel_c(resources: PlanResources) -> ExperimentResult:
+        world, datasets = resources["world"]
+        colleges = estimate_college_graph(world, datasets)
+        college_pos = _college_positions(world, colleges.names)
+        corr_c = distance_weight_correlation(world, colleges, college_pos)
+        return _result(
+            "fig7c",
+            "college-to-college friendship graph (S-WRW10)",
+            colleges,
+            top_edges,
+            {"distance_weight_rank_corr": round(corr_c, 3)},
+        )
+
+    cells = tuple(
+        ComputeCell(key=key, compute=compute, axes={"panel": key[-1]})
+        for key, compute in (
+            ("fig7a", panel_a),
+            ("fig7b", panel_b),
+            ("fig7c", panel_c),
+        )
+    )
+
+    # Each compute cell already produces its finished map result, so
+    # the default identity finalize applies.
+    return SweepPlan(
+        name="fig7",
+        cells=cells,
+        resources=resources,
+        context={"scale": preset.name, "seed": int(rng), "top_edges": top_edges},
+    )
 
 
 def run_fig7(
@@ -37,52 +115,9 @@ def run_fig7(
     top_edges: int = 15,
 ) -> dict[str, ExperimentResult]:
     """Regenerate Fig. 7 panels a-c."""
-    preset = preset or active_preset()
-    world, datasets = build_world_and_crawls(preset, rng)
-    results: dict[str, ExperimentResult] = {}
-
-    # ------------------------------------------------------------ (a)
-    countries = estimate_country_graph(world, datasets)
-    country_pos = _country_positions(world, countries.names)
-    corr_a = distance_weight_correlation(world, countries, country_pos)
-    truth_a = true_category_graph(world.graph, country_partition(world))
-    results["fig7a"] = _result(
-        "fig7a",
-        "country-to-country friendship graph",
-        countries,
-        top_edges,
-        {
-            "distance_weight_rank_corr": round(corr_a, 3),
-            "true_corr": round(
-                distance_weight_correlation(world, truth_a, country_pos), 3
-            ),
-        },
+    return run_plan(
+        compile_fig7(preset=preset, rng=rng, top_edges=top_edges)
     )
-
-    # ------------------------------------------------------------ (b)
-    north_america = estimate_north_america_graph(world, datasets)
-    na_pos = _region_positions(world, north_america.names)
-    corr_b = distance_weight_correlation(world, north_america, na_pos)
-    results["fig7b"] = _result(
-        "fig7b",
-        "North-America county-level friendship graph",
-        north_america,
-        top_edges,
-        {"distance_weight_rank_corr": round(corr_b, 3)},
-    )
-
-    # ------------------------------------------------------------ (c)
-    colleges = estimate_college_graph(world, datasets)
-    college_pos = _college_positions(world, colleges.names)
-    corr_c = distance_weight_correlation(world, colleges, college_pos)
-    results["fig7c"] = _result(
-        "fig7c",
-        "college-to-college friendship graph (S-WRW10)",
-        colleges,
-        top_edges,
-        {"distance_weight_rank_corr": round(corr_c, 3)},
-    )
-    return results
 
 
 def _result(experiment_id, title, category_graph, top_edges, extra_notes):

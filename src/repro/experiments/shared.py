@@ -21,7 +21,7 @@ from repro.facebook.model import (
 )
 from repro.rng import derive_rng
 
-__all__ = ["build_world_and_crawls"]
+__all__ = ["build_world_and_crawls", "year_partition"]
 
 
 @functools.lru_cache(maxsize=4)
@@ -52,3 +52,15 @@ def build_world_and_crawls(
         preset.samples_per_walk,
         rng,
     )
+
+
+def year_partition(world: FacebookWorld, year: int):
+    """The ``(partition, catch-all index)`` a crawl year is scored on.
+
+    2009 crawls carry regional-network categories (catch-all:
+    undeclared users); 2010 crawls carry college categories (catch-all:
+    non-college users). Shared by every Facebook-world experiment.
+    """
+    if year == 2009:
+        return world.regions_2009, world.undeclared_index
+    return world.colleges_2010, world.none_college_index

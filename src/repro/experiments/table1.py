@@ -2,7 +2,8 @@
 
 Regenerates the table with both the published numbers and the realised
 statistics of our stand-in graphs, so the substitution error is always
-visible.
+visible. Compiles to one compute cell per dataset row; ``finalize``
+assembles the table.
 """
 
 from __future__ import annotations
@@ -10,9 +11,55 @@ from __future__ import annotations
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.plan import ComputeCell, PlanResources, SweepPlan
 from repro.rng import derive_rng
+from repro.runtime.plan import run_plan
 
-__all__ = ["run_table1"]
+__all__ = ["run_table1", "compile_table1"]
+
+
+def compile_table1(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile Table 1 to one compute cell per dataset stand-in."""
+    preset = preset or active_preset()
+    names = dataset_names()
+    cells = tuple(
+        ComputeCell(
+            key=f"row:{name}",
+            compute=_row_builder(name, di, preset, rng),
+            axes={"dataset": name},
+        )
+        for di, name in enumerate(names)
+    )
+
+    def finalize(
+        outputs: dict[str, object], resources: PlanResources
+    ) -> dict[str, ExperimentResult]:
+        headers = (
+            "dataset",
+            "|V| paper",
+            "|E| paper",
+            "k_V paper",
+            "|V| ours",
+            "|E| ours",
+            "k_V ours",
+        )
+        result = ExperimentResult(
+            experiment_id="table1",
+            title="Empirical topologies (paper values vs stand-in realisations)",
+            table=(headers, [outputs[f"row:{name}"] for name in names]),
+            notes={"dataset_scale": preset.dataset_scale, "scale": preset.name},
+        )
+        return {result.experiment_id: result}
+
+    return SweepPlan(
+        name="table1",
+        cells=cells,
+        finalize=finalize,
+        context={"scale": preset.name, "seed": int(rng)},
+    )
 
 
 def run_table1(
@@ -20,35 +67,22 @@ def run_table1(
     rng: int = 0,
 ) -> ExperimentResult:
     """Regenerate Table 1 (published vs realised stand-in statistics)."""
-    preset = preset or active_preset()
-    rows = []
-    for di, name in enumerate(dataset_names()):
+    return run_plan(compile_table1(preset=preset, rng=rng))["table1"]
+
+
+def _row_builder(name: str, di: int, preset: ScalePreset, rng: int):
+    def compute(resources: PlanResources) -> tuple:
         graph, spec = load_dataset(
             name, scale=preset.dataset_scale, rng=derive_rng(rng, 10, di)
         )
-        rows.append(
-            (
-                name,
-                spec.num_nodes,
-                spec.num_edges,
-                round(spec.mean_degree, 1),
-                graph.num_nodes,
-                graph.num_edges,
-                round(graph.mean_degree(), 1),
-            )
+        return (
+            name,
+            spec.num_nodes,
+            spec.num_edges,
+            round(spec.mean_degree, 1),
+            graph.num_nodes,
+            graph.num_edges,
+            round(graph.mean_degree(), 1),
         )
-    headers = (
-        "dataset",
-        "|V| paper",
-        "|E| paper",
-        "k_V paper",
-        "|V| ours",
-        "|E| ours",
-        "k_V ours",
-    )
-    return ExperimentResult(
-        experiment_id="table1",
-        title="Empirical topologies (paper values vs stand-in realisations)",
-        table=(headers, rows),
-        notes={"dataset_scale": preset.dataset_scale, "scale": preset.name},
-    )
+
+    return compute

@@ -4,16 +4,21 @@ Regenerates the crawl-collection summary on the synthetic world. The
 "% categ. samples" column is *emergent* (it depends on the crawl
 design meeting the category structure), so the paper's published
 percentages are shown alongside for comparison.
+
+Compiles to one compute cell per crawl collection over the shared
+Facebook-world plan resource; ``finalize`` assembles the table.
 """
 
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import ScalePreset, active_preset
+from repro.experiments.plan import ComputeCell, PlanResources, SweepPlan
 from repro.experiments.shared import build_world_and_crawls
 from repro.facebook.crawls import category_sample_fraction
+from repro.runtime.plan import run_plan
 
-__all__ = ["run_table2"]
+__all__ = ["run_table2", "compile_table2"]
 
 #: Published Table 2 percentages for reference.
 _PAPER_FRACTIONS = {
@@ -25,43 +30,77 @@ _PAPER_FRACTIONS = {
 }
 
 
+def compile_table2(
+    preset: ScalePreset | None = None,
+    rng: int = 0,
+) -> SweepPlan:
+    """Compile Table 2 to one compute cell per crawl collection."""
+    preset = preset or active_preset()
+    resources = {"world": lambda: build_world_and_crawls(preset, rng)}
+    names = tuple(_PAPER_FRACTIONS)
+    cells = tuple(
+        ComputeCell(
+            key=f"row:{name}",
+            compute=_row_builder(name),
+            axes={"crawl": name},
+        )
+        for name in names
+    )
+
+    def finalize(
+        outputs: dict[str, object], resources: PlanResources
+    ) -> dict[str, ExperimentResult]:
+        world, _ = resources["world"]
+        headers = (
+            "crawl",
+            "year",
+            "walks",
+            "samples/walk",
+            "% categ (ours)",
+            "% categ (paper)",
+        )
+        result = ExperimentResult(
+            experiment_id="table2",
+            title="Facebook crawl datasets (simulated, Table 2 layout)",
+            table=(headers, [outputs[f"row:{name}"] for name in names]),
+            notes={
+                "users": world.graph.num_nodes,
+                "regions": world.regions_2009.num_categories - 1,
+                "colleges": world.colleges_2010.num_categories - 1,
+                "scale": preset.name,
+            },
+        )
+        return {result.experiment_id: result}
+
+    return SweepPlan(
+        name="table2",
+        cells=cells,
+        finalize=finalize,
+        resources=resources,
+        context={"scale": preset.name, "seed": int(rng)},
+    )
+
+
 def run_table2(
     preset: ScalePreset | None = None,
     rng: int = 0,
 ) -> ExperimentResult:
     """Regenerate Table 2 on the synthetic Facebook world."""
-    preset = preset or active_preset()
-    world, datasets = build_world_and_crawls(preset, rng)
-    rows = []
-    for name in ("MHRW09", "RW09", "UIS09", "RW10", "S-WRW10"):
+    return run_plan(compile_table2(preset=preset, rng=rng))["table2"]
+
+
+def _row_builder(name: str):
+    def compute(resources: PlanResources) -> tuple:
+        world, datasets = resources["world"]
         dataset = datasets[name]
         measured = category_sample_fraction(world, dataset)
-        rows.append(
-            (
-                name,
-                2009 if dataset.year == 2009 else 2010,
-                dataset.num_walks,
-                dataset.samples_per_walk,
-                f"{100 * measured:.0f}%",
-                f"{100 * _PAPER_FRACTIONS[name]:.0f}%",
-            )
+        return (
+            name,
+            2009 if dataset.year == 2009 else 2010,
+            dataset.num_walks,
+            dataset.samples_per_walk,
+            f"{100 * measured:.0f}%",
+            f"{100 * _PAPER_FRACTIONS[name]:.0f}%",
         )
-    headers = (
-        "crawl",
-        "year",
-        "walks",
-        "samples/walk",
-        "% categ (ours)",
-        "% categ (paper)",
-    )
-    return ExperimentResult(
-        experiment_id="table2",
-        title="Facebook crawl datasets (simulated, Table 2 layout)",
-        table=(headers, rows),
-        notes={
-            "users": world.graph.num_nodes,
-            "regions": world.regions_2009.num_categories - 1,
-            "colleges": world.colleges_2010.num_categories - 1,
-            "scale": preset.name,
-        },
-    )
+
+    return compute

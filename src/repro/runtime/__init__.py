@@ -1,28 +1,45 @@
-"""``repro.runtime`` — process-parallel sweep execution.
+"""``repro.runtime`` — process-parallel sweep and plan execution.
 
-The layer between the sampling/estimation kernels and the experiment
-harness: :class:`ProcessSweepExecutor` runs a replicated NRMSE sweep
-(the engine behind Figs. 3, 4, 6 and Table 2) across worker processes,
-publishing the graph substrate once through shared memory
-(:mod:`repro.runtime.sharedmem`), bounding variate memory via the
-batched engine's chunked step windows, and checkpointing every
-completed ladder rung (:mod:`repro.runtime.checkpoint`) so paper-scale
-runs survive being killed. Select it per call
+The layer between the sampling/estimation kernels and the experiments
+harness. Every experiment compiles to a declarative
+:class:`~repro.experiments.plan.SweepPlan` — a grid of scenario cells
+(substrate x partition x design x budget ladder x replications, fresh
+or pre-drawn) plus a finalize step — and :func:`run_plan` executes it:
+:class:`ProcessSweepExecutor` runs each replicated NRMSE sweep cell
+across worker processes (fresh-draw sweeps via
+:meth:`~ProcessSweepExecutor.run`, pre-drawn crawl sweeps via
+:meth:`~ProcessSweepExecutor.run_from_samples`), publishing the plan's
+shared substrate once through shared memory
+(:mod:`repro.runtime.sharedmem` — one pool per plan run, deduplicated
+across cells), bounding variate memory via the batched engine's chunked
+step windows, and checkpointing every completed ladder rung plus the
+compressed per-replicate observations
+(:mod:`repro.runtime.checkpoint`) so paper-scale runs survive being
+killed. Select the executor per call
 (``run_nrmse_sweep(executor="process", workers=4)``), per scope
-(:func:`runtime_options`), or per environment (``REPRO_EXECUTOR`` /
-``REPRO_WORKERS`` — how CI runs whole suites under the parallel path).
+(:func:`runtime_options`), per environment (``REPRO_EXECUTOR`` /
+``REPRO_WORKERS`` — how CI runs whole suites under the parallel path),
+or per plan (``repro experiment fig6 --workers 4``). Both replicated
+entry points — :func:`~repro.stats.replication.run_nrmse_sweep` and
+:func:`~repro.stats.replication.run_nrmse_sweep_from_samples` — resolve
+the ambient configuration identically.
 
 The determinism contract
 ------------------------
-Parallel output is **bit-identical** to the serial engine, for every
-worker count, by construction rather than by tolerance:
+Plan output is **bit-identical** to the serial engine, for every worker
+count, by construction rather than by tolerance:
 
 1. **Streams are named by seed, not by schedule.** The master generator
    spawns one integer seed per replicate
    (:func:`repro.rng.spawn_seeds`) exactly as the serial harness
    spawns its generators; replicate ``i`` *is*
-   ``default_rng(seeds[i])`` wherever it executes. Shard assignment,
-   worker count, and completion order cannot reach a trajectory.
+   ``default_rng(seeds[i])`` wherever it executes. Pre-drawn cells
+   skip sampling entirely: their replicate crawls are inputs, shipped
+   to workers byte-for-byte through shared memory. Plan cells derive
+   their master streams by fixed integer keys
+   (:func:`repro.rng.derive_rng`), so cell order is irrelevant too.
+   Shard assignment, worker count, and completion order cannot reach a
+   trajectory.
 2. **Kernels are shard-blind.** A worker advances its replicate block
    through the same batched frontier kernels
    (:func:`repro.sampling.batch.sample_streams`), which are bit-equal
@@ -32,22 +49,32 @@ worker count, by construction rather than by tolerance:
 3. **Estimation rows share one code path.** Each replicate's rung rows
    come from the same ``_rung_rows`` / prefix-ladder code the serial
    sweep runs; rows are placed by absolute replicate index and reduced
-   by the serial reducer. No float is added in a different order.
+   by the serial reducer (including the cross-sample pseudo-truth
+   reduction of the paper's Section 7.2 convention). No float is added
+   in a different order.
 4. **Resume is exact.** Checkpointed rungs are replayed from disk while
    workers fold their integer multiplicity state forward
    (:meth:`repro.stats.prefix.IncrementalPrefixLadder.fold` — adding a
-   draw's multiplicity is order-free integer arithmetic), so a resumed
-   sweep finishes with the same bits as an uninterrupted one. The
-   checkpoint directory is keyed by a manifest fingerprint (seeds,
+   draw's multiplicity is order-free integer arithmetic), and ladders
+   are seeded from the checkpointed ``observe_both`` observations —
+   arrays that round-trip npz exactly — instead of re-measuring, so a
+   resumed sweep finishes with the same bits as an uninterrupted one.
+   Checkpoints are double-keyed: the plan directory by the plan
+   manifest (experiment id + cell grid), each cell's sweep directory
+   by a manifest fingerprint (seeds or pre-drawn sample digests,
    ladder, estimator knobs, graph/partition/sampler content), so a
-   stale checkpoint can never contaminate a non-matching run.
+   stale checkpoint can never contaminate a non-matching run. A killed
+   ``repro experiment <name> --resume`` restarts at the first missing
+   cell/rung.
 
-``tests/runtime/`` enforces all four properties; the golden sweep
-regression additionally pins the executor against the serial reference
-for every registered design.
+``tests/runtime/`` enforces all four properties (``test_plan.py`` at
+the plan grain, including fig6/ablation pre-drawn cells at 1/2/3
+workers and mid-cell kill/resume); the golden sweep regression
+additionally pins the executor against the serial reference for every
+registered design.
 """
 
-from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.checkpoint import PlanCheckpoint, SweepCheckpoint
 from repro.runtime.config import (
     RuntimeOptions,
     active_options,
@@ -55,14 +82,17 @@ from repro.runtime.config import (
     runtime_options,
 )
 from repro.runtime.executor import ProcessSweepExecutor
+from repro.runtime.plan import run_plan
 from repro.runtime.sharedmem import SharedArrayPool
 
 __all__ = [
+    "PlanCheckpoint",
     "ProcessSweepExecutor",
     "RuntimeOptions",
     "SharedArrayPool",
     "SweepCheckpoint",
     "active_options",
     "resolve_executor",
+    "run_plan",
     "runtime_options",
 ]

@@ -1,11 +1,17 @@
-"""Manifest-keyed rung-level checkpoints for paper-scale sweeps.
+"""Manifest-keyed checkpoints for paper-scale sweeps and plans.
 
 A paper-scale NRMSE sweep is hours of sampling plus a ladder of
-estimation rungs. The executor checkpoints it at two grains inside a
+estimation rungs. The executor checkpoints it at three grains inside a
 per-sweep directory under the user's checkpoint root:
 
 * ``samples.npz`` — the replicate draw matrices, written once after the
   sampling phase (a killed run resumes estimation without re-walking);
+* ``observations.npz`` — the compressed ``observe_both`` measurement of
+  every replicate (distinct-node tables, neighbor CSR histograms,
+  induced edges), written once after the workers build their ladders.
+  On resume the workers seed their prefix ladders straight from these
+  arrays instead of re-running the per-replicate observation pass —
+  at paper scale the dominant cost of restarting estimation;
 * ``rung_<k>.npz`` — the per-replicate estimate rows of ladder rung
   ``k``, one file per completed rung (the resume grain the CLI's
   ``--resume`` promises: a run killed after rung ``k`` recomputes
@@ -13,11 +19,18 @@ per-sweep directory under the user's checkpoint root:
 
 The directory name embeds a *manifest key*: a SHA-256 over everything
 that determines the sweep's output bit-for-bit — design, replicate
-seeds, ladder, estimator knobs, and content fingerprints of the graph,
-partition, and sampler state. Any drift (different seed, edited graph,
-new sampler parameters) changes the key, so a stale checkpoint can
-never leak rows into a non-matching run; ``resume=False`` additionally
-clears a matching directory so a fresh run never trusts old files.
+seeds (or pre-drawn sample fingerprints), ladder, estimator knobs, and
+content fingerprints of the graph, partition, and sampler state. Any
+drift (different seed, edited graph, new sampler parameters) changes
+the key, so a stale checkpoint can never leak rows into a non-matching
+run; ``resume=False`` additionally clears a matching directory so a
+fresh run never trusts old files.
+
+One level up, :class:`PlanCheckpoint` keys a whole experiment plan
+(:mod:`repro.experiments.plan`): each sweep cell checkpoints into its
+own subdirectory of a plan-keyed directory, so a killed
+``repro experiment fig6 --resume`` replays every completed cell from
+its rung files and resumes computing at the first missing cell/rung.
 
 All writes are atomic (temp file + ``os.replace``), so a kill mid-write
 leaves either the previous state or the new one, never a torn file.
@@ -28,17 +41,39 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["SweepCheckpoint", "manifest_key"]
+__all__ = ["PlanCheckpoint", "SweepCheckpoint", "manifest_key"]
 
 #: Bump when the on-disk layout changes; part of the manifest key.
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
 
 #: The stack row fields stored per rung, in file order.
 _ROW_FIELDS = ("sizes_induced", "sizes_star", "weights_induced", "weights_star")
+
+#: Per-replicate array fields of a serialized ``observe_both`` pair.
+#: The base fields are shared by both observation views (they are built
+#: from one draw compression); the star CSR and induced edges complete
+#: the pair. ``design``/``uniform`` ride along as 0-d arrays.
+OBSERVATION_FIELDS = (
+    "draw_to_distinct",
+    "distinct_nodes",
+    "distinct_categories",
+    "distinct_multiplicities",
+    "distinct_weights",
+    "induced_edges",
+    "distinct_degrees",
+    "neighbor_indptr",
+    "neighbor_categories",
+    "neighbor_counts",
+    "design",
+    "uniform",
+    "num_draws",
+)
 
 
 def manifest_key(manifest: dict) -> str:
@@ -118,6 +153,47 @@ class SweepCheckpoint:
         )
 
     # ------------------------------------------------------------------
+    # Observations (written once, after the ladder-build phase)
+    # ------------------------------------------------------------------
+    @property
+    def observations_path(self) -> Path:
+        return self.directory / "observations.npz"
+
+    def load_observations(self, expected: int) -> "list[dict] | None":
+        """Per-replicate observation field dicts, if present and complete.
+
+        ``expected`` is the replication count; a file from a run with a
+        different count (impossible under matching manifests, but cheap
+        to verify) is ignored rather than trusted.
+        """
+        if not self.observations_path.exists():
+            return None
+        try:
+            with np.load(self.observations_path, allow_pickle=False) as data:
+                if int(data["count"]) != int(expected):
+                    return None
+                return [
+                    {
+                        f: data[f"r{rep:04d}_{f}"]
+                        for f in OBSERVATION_FIELDS
+                    }
+                    for rep in range(expected)
+                ]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def save_observations(self, observations: "list[dict]") -> None:
+        """Persist per-replicate observation fields (compressed npz)."""
+        arrays = {"count": np.int64(len(observations))}
+        for rep, fields in enumerate(observations):
+            for f in OBSERVATION_FIELDS:
+                arrays[f"r{rep:04d}_{f}"] = np.asarray(fields[f])
+        _atomic_write(
+            self.observations_path,
+            lambda h: np.savez_compressed(h, **arrays),
+        )
+
+    # ------------------------------------------------------------------
     # Rung rows (one file per completed ladder rung)
     # ------------------------------------------------------------------
     def rung_path(self, rung_index: int) -> Path:
@@ -152,3 +228,64 @@ class SweepCheckpoint:
             for si, size in enumerate(sizes)
             if self.load_rung(si, int(size)) is not None
         ]
+
+
+def _safe_cell_name(key: str) -> str:
+    """Filesystem-safe directory name for a plan cell key.
+
+    Sanitized names carry a short digest of the raw key so two keys
+    that sanitize identically (``"a/b"`` vs ``"a-b"``) cannot share a
+    directory.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", key) or "cell"
+    if safe == key:
+        return safe
+    return f"{safe}-{hashlib.sha256(key.encode()).hexdigest()[:6]}"
+
+
+class PlanCheckpoint:
+    """One experiment plan's checkpoint directory.
+
+    The plan layer above :class:`SweepCheckpoint`: the directory name
+    keys the *plan* manifest (experiment id, cell keys, scale, master
+    seed), and each sweep cell receives its own subdirectory to use as
+    its sweep-checkpoint root — inside which the cell's executor run
+    creates its own manifest-keyed sweep directory. Safety is therefore
+    double-keyed: a stale plan cannot be resumed under a different cell
+    grid, and a stale cell cannot leak rows into a sweep whose seeds,
+    substrate, or estimator knobs drifted.
+
+    Resume semantics fall out of the layering: cells whose sweeps are
+    fully checkpointed replay from their rung files without spawning
+    workers, and the first cell with a missing rung resumes computing
+    exactly there.
+    """
+
+    def __init__(self, root: "str | os.PathLike", manifest: dict, resume: bool):
+        self.manifest = dict(manifest, format=CHECKPOINT_FORMAT)
+        self.key = manifest_key(self.manifest)
+        self.directory = Path(root) / f"plan-{self.key}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / "plan.json"
+        if not resume:
+            self._clear()
+        elif manifest_path.exists():
+            try:
+                stored = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                stored = None
+            if stored != self.manifest:  # pragma: no cover - key collision
+                self._clear()
+        payload = json.dumps(self.manifest, indent=2, sort_keys=True) + "\n"
+        _atomic_write(manifest_path, lambda h: h.write(payload.encode()))
+
+    def _clear(self) -> None:
+        for stale in self.directory.iterdir():
+            if stale.is_dir():
+                shutil.rmtree(stale)
+            elif stale.name != "plan.json":
+                stale.unlink()
+
+    def cell_root(self, key: str) -> Path:
+        """The sweep-checkpoint root directory for one plan cell."""
+        return self.directory / _safe_cell_name(key)

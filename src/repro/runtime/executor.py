@@ -1,18 +1,27 @@
 """Process-parallel sweep executor (see :mod:`repro.runtime`).
 
 The executor turns one replicated NRMSE sweep into ``W`` shard jobs:
-worker ``w`` owns a contiguous block of replicate indices, reconstructs
-each replicate's RNG stream from its spawned seed, advances its block
-through the batched frontier kernels (:mod:`repro.sampling.batch`), and
-steps a per-replicate prefix ladder rung by rung under parent control.
-The parent assembles rows into the same ``(R, K, C[, C])`` stacks the
+worker ``w`` owns a contiguous block of replicate indices, obtains its
+replicates — reconstructing each RNG stream from its spawned seed and
+advancing the block through the batched frontier kernels
+(:mod:`repro.sampling.batch`), or slicing its block out of *pre-drawn*
+samples (simulated crawls) published through shared memory — and steps
+a per-replicate prefix ladder rung by rung under parent control. The
+parent assembles rows into the same ``(R, K, C[, C])`` stacks the
 serial path builds and reduces them with the identical code
 (:func:`repro.stats.replication._reduce_stacks`), which is why the
-output is bit-identical to the serial engine for any worker count.
+output is bit-identical to the serial engine for any worker count, for
+fresh-draw (:meth:`ProcessSweepExecutor.run`) and pre-drawn
+(:meth:`ProcessSweepExecutor.run_from_samples`) sweeps alike.
 
 Parent/worker protocol (one duplex pipe per worker)::
 
     worker -> ("sampled", nodes|None, weights|None)   after sampling
+    worker -> ("observed", fields|None)               after the ladder
+                                                      build (fields only
+                                                      when the parent
+                                                      asked to persist
+                                                      observations)
     parent -> ("rung", si, size)                      compute rung si
     worker -> ("rows", si, (4 shard row arrays))
     parent -> ("skip", si, size)                      rung restored from
@@ -25,7 +34,10 @@ Rung-by-rung control is what makes checkpoint/resume work: after every
 gathered rung the parent persists that rung's rows, so a later run with
 the same manifest replays finished rungs from disk (workers only fold
 their multiplicity state forward — exact, integer arithmetic) and
-resumes computing at the first missing rung.
+resumes computing at the first missing rung. The ``observed`` phase
+additionally persists each replicate's compressed ``observe_both``
+measurement, so a resumed run seeds its ladders straight from disk
+instead of re-running the per-replicate observation pass.
 """
 
 from __future__ import annotations
@@ -49,7 +61,12 @@ from repro.runtime import sharedmem
 from repro.runtime.checkpoint import SweepCheckpoint
 from repro.sampling.base import NodeSample, Sampler
 from repro.sampling.batch import sample_streams
-from repro.sampling.observation import observe_induced, observe_star
+from repro.sampling.observation import (
+    InducedObservation,
+    StarObservation,
+    observe_induced,
+    observe_star,
+)
 from repro.stats.prefix import IncrementalPrefixLadder
 from repro.stats.replication import (
     KINDS,
@@ -105,6 +122,65 @@ def _sampler_fingerprint(sampler: Sampler) -> str:
 
 
 # ----------------------------------------------------------------------
+# Observation round trips (checkpointed ladder state)
+# ----------------------------------------------------------------------
+def _observation_fields(
+    induced: InducedObservation, star: StarObservation
+) -> dict:
+    """The npz-serializable field dict of one replicate's observations.
+
+    Inverse of :func:`_observations_restore`; the field list is pinned
+    by :data:`repro.runtime.checkpoint.OBSERVATION_FIELDS`.
+    """
+    return {
+        "draw_to_distinct": star.draw_to_distinct,
+        "distinct_nodes": star.distinct_nodes,
+        "distinct_categories": star.distinct_categories,
+        "distinct_multiplicities": star.distinct_multiplicities,
+        "distinct_weights": star.distinct_weights,
+        "induced_edges": induced.induced_edges,
+        "distinct_degrees": star.distinct_degrees,
+        "neighbor_indptr": star.neighbor_indptr,
+        "neighbor_categories": star.neighbor_categories,
+        "neighbor_counts": star.neighbor_counts,
+        "design": np.asarray(star.design),
+        "uniform": np.asarray(star.uniform),
+        "num_draws": np.asarray(star.num_draws, dtype=np.int64),
+    }
+
+
+def _observations_restore(
+    names: tuple, fields: dict
+) -> tuple[InducedObservation, StarObservation]:
+    """Rebuild one replicate's ``observe_both`` pair from stored fields.
+
+    Arrays round-trip through npz exactly, so the rebuilt pair is
+    field-for-field identical to the one ``observe_both`` computed —
+    which is what keeps resumed ladders bit-identical to fresh ones.
+    """
+    base = {
+        "names": names,
+        "num_draws": int(fields["num_draws"]),
+        "draw_to_distinct": fields["draw_to_distinct"],
+        "distinct_nodes": fields["distinct_nodes"],
+        "distinct_categories": fields["distinct_categories"],
+        "distinct_multiplicities": fields["distinct_multiplicities"],
+        "distinct_weights": fields["distinct_weights"],
+        "uniform": bool(fields["uniform"]),
+        "design": str(fields["design"]),
+    }
+    induced = InducedObservation(induced_edges=fields["induced_edges"], **base)
+    star = StarObservation(
+        distinct_degrees=fields["distinct_degrees"],
+        neighbor_indptr=fields["neighbor_indptr"],
+        neighbor_categories=fields["neighbor_categories"],
+        neighbor_counts=fields["neighbor_counts"],
+        **base,
+    )
+    return induced, star
+
+
+# ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
 class _ReplicateLadder:
@@ -115,18 +191,43 @@ class _ReplicateLadder:
     serial ``_ladder_rungs`` generator would; ``skip`` advances the
     incremental multiplicity state past a checkpointed rung without
     re-deriving estimates (an exact integer fold, so later rungs are
-    unaffected by the skip).
+    unaffected by the skip). ``observations`` seeds the ladder from a
+    checkpoint-restored ``observe_both`` pair instead of re-measuring
+    the sample.
     """
 
-    def __init__(self, graph, partition, sample, ladder, n_pop, mean_degree_model):
+    def __init__(
+        self,
+        graph,
+        partition,
+        sample,
+        ladder,
+        n_pop,
+        mean_degree_model,
+        observations=None,
+    ):
         self._mode = ladder
         self._n_pop = n_pop
         self._mean_degree_model = mean_degree_model
         if ladder == "incremental":
-            self._state = IncrementalPrefixLadder(graph, partition, sample)
+            self._state = IncrementalPrefixLadder(
+                graph, partition, sample, observations=observations
+            )
+        elif observations is not None:
+            # observe_both output is identical to the two separate
+            # observe_* calls, so restored pairs serve the subset
+            # reference ladder too.
+            self._induced, self._star = observations
         else:
             self._star = observe_star(graph, partition, sample)
             self._induced = observe_induced(graph, partition, sample)
+
+    @property
+    def observations(self) -> tuple[InducedObservation, StarObservation]:
+        """The full-sample (induced, star) pair backing this ladder."""
+        if self._mode == "incremental":
+            return self._state.observations
+        return self._induced, self._star
 
     def rung(self, size: int):
         if self._mode == "incremental":
@@ -143,15 +244,20 @@ class _ReplicateLadder:
 
 
 def _worker_main(conn, payload: bytes, cfg: dict) -> None:
-    """Shard worker: sample the owned replicates, then serve rung commands."""
+    """Shard worker: obtain the owned replicates, then serve rung commands."""
     try:
         world = sharedmem.loads(payload)
-        graph, partition, sampler = (
-            world["graph"],
-            world["partition"],
-            world["sampler"],
-        )
-        if cfg["samples"] is not None:
+        graph, partition = world["graph"], world["partition"]
+        if cfg["mode"] == "predrawn":
+            if world["samples"] is not None:
+                samples = world["samples"]
+            else:
+                # Observation-seeded resume: the restored pairs carry
+                # everything the ladders need, samples were not shipped.
+                samples = [None] * len(cfg["shard"])
+            conn.send(("sampled", None, None))
+        elif cfg["samples"] is not None:
+            sampler = world["sampler"]
             nodes, weights = cfg["samples"]
             samples = [
                 NodeSample(
@@ -163,7 +269,13 @@ def _worker_main(conn, payload: bytes, cfg: dict) -> None:
                 for i in range(len(cfg["seeds"]))
             ]
             conn.send(("sampled", None, None))
+        elif world.get("observations") is not None:
+            # Checkpoint-restored observations carry everything the
+            # ladders need; re-walking the replicates would be wasted.
+            samples = [None] * len(cfg["shard"])
+            conn.send(("sampled", None, None))
         else:
+            sampler = world["sampler"]
             streams = [np.random.default_rng(seed) for seed in cfg["seeds"]]
             batch = sample_streams(
                 sampler, cfg["n"], streams, engine=cfg["engine"]
@@ -173,6 +285,8 @@ def _worker_main(conn, payload: bytes, cfg: dict) -> None:
                 conn.send(("sampled", batch.nodes, batch.weights))
             else:
                 conn.send(("sampled", None, None))
+        restored = world.get("observations")
+        names = tuple(partition.names)
         ladders = [
             _ReplicateLadder(
                 graph,
@@ -181,9 +295,26 @@ def _worker_main(conn, payload: bytes, cfg: dict) -> None:
                 cfg["ladder"],
                 cfg["n_pop"],
                 cfg["mean_degree_model"],
+                observations=(
+                    None
+                    if restored is None
+                    else _observations_restore(names, restored[local])
+                ),
             )
-            for sample in samples
+            for local, sample in enumerate(samples)
         ]
+        if cfg["want_observations"]:
+            conn.send(
+                (
+                    "observed",
+                    [
+                        _observation_fields(*ladder.observations)
+                        for ladder in ladders
+                    ],
+                )
+            )
+        else:
+            conn.send(("observed", None))
         truth_sizes = cfg["truth_sizes"]
         plugin = cfg["weight_size_plugin"]
         while True:
@@ -320,21 +451,178 @@ class ProcessSweepExecutor:
             graph, partition, sampler, sizes, replications, seeds,
             engine, ladder, weight_size_plugin, mean_degree_model,
         )
-        saved = checkpoint.load_samples() if checkpoint and self.resume else None
+        cached_rungs = self._load_cached_rungs(checkpoint, sizes)
+        fully_cached = len(cached_rungs) == len(sizes)
+        # Resume restores the cheapest sufficient state: a
+        # fully-checkpointed sweep replays from its rung files alone
+        # (_drive early-returns before spawning workers); restored
+        # observations seed the ladders directly, making the draw
+        # matrices redundant (workers then skip sampling outright); the
+        # samples are decompressed only as the fallback when the
+        # observations are absent, and then the workers rebuild — and
+        # re-persist — the observation state from them.
+        observations = (
+            checkpoint.load_observations(replications)
+            if checkpoint is not None and self.resume and not fully_cached
+            else None
+        )
+        saved = (
+            checkpoint.load_samples()
+            if checkpoint
+            and self.resume
+            and not fully_cached
+            and observations is None
+            else None
+        )
         if saved is not None and saved[0].shape != (replications, n):
             saved = None
-        # Load every completed rung's rows once, up front — the rung
-        # loop replays from this dict instead of re-reading the files.
-        cached_rungs = (
-            {
-                si: rows
-                for si, size in enumerate(sizes)
-                if (rows := checkpoint.load_rung(si, int(size))) is not None
-            }
-            if checkpoint and self.resume
-            else {}
+
+        persist_samples = (
+            checkpoint is not None and saved is None and observations is None
         )
 
+        def make_cfg(shard):
+            return {
+                "mode": "fresh",
+                "shard": [int(i) for i in shard],
+                "seeds": [seeds[i] for i in shard],
+                "n": n,
+                "engine": engine,
+                "want_samples": persist_samples,
+                "samples": (
+                    None
+                    if saved is None
+                    else (saved[0][shard], saved[1][shard])
+                ),
+            }
+
+        return self._drive(
+            graph,
+            partition,
+            sizes,
+            replications,
+            truth,
+            "exact",
+            ladder,
+            weight_size_plugin,
+            mean_degree_model,
+            checkpoint,
+            observations,
+            cached_rungs,
+            make_payload=lambda shard: {"sampler": sampler},
+            make_cfg=make_cfg,
+            persist_samples=persist_samples,
+        )
+
+    # ------------------------------------------------------------------
+    def run_from_samples(
+        self,
+        graph,
+        partition,
+        samples,
+        sizes: np.ndarray,
+        *,
+        weight_size_plugin: str = "star",
+        mean_degree_model: str = "per-category",
+        truth_mode: str = "exact",
+        ladder: str = "incremental",
+    ) -> SweepResult:
+        """Run one pre-drawn sweep; same contract as the serial
+        ``run_nrmse_sweep_from_samples``.
+
+        The sampling phase is moot — the replicate samples (simulated
+        crawls, recorded walks) already exist — so the executor ships
+        them to the workers through shared memory and shards only the
+        ladder/estimation phase. Rows are placed by absolute replicate
+        index and reduced by the serial reducer, so the result is
+        bit-identical to the serial path for any worker count.
+        """
+        samples = list(samples)
+        replications = len(samples)
+        if replications < 1:
+            raise EstimationError("need at least one replicate sample")
+        if ladder not in ("incremental", "subset"):
+            raise EstimationError(
+                f"unknown ladder {ladder!r}; use 'incremental' or 'subset'"
+            )
+        if weight_size_plugin not in ("star", "induced", "true"):
+            raise EstimationError(
+                f"unknown weight_size_plugin {weight_size_plugin!r}"
+            )
+        if mean_degree_model not in ("per-category", "global"):
+            raise EstimationError(
+                f"unknown mean_degree_model {mean_degree_model!r}; "
+                "use 'per-category' or 'global'"
+            )
+        if truth_mode not in ("exact", "cross-sample"):
+            raise EstimationError(f"unknown truth_mode {truth_mode!r}")
+        sizes = np.asarray(sizes, dtype=np.int64)
+        truth = true_category_graph(graph, partition)
+        checkpoint = self._open_predrawn_checkpoint(
+            graph, partition, samples, sizes,
+            ladder, weight_size_plugin, mean_degree_model, truth_mode,
+        )
+        cached_rungs = self._load_cached_rungs(checkpoint, sizes)
+        observations = (
+            checkpoint.load_observations(replications)
+            if checkpoint is not None
+            and self.resume
+            and len(cached_rungs) < len(sizes)
+            else None
+        )
+
+        def make_cfg(shard):
+            return {
+                "mode": "predrawn",
+                "shard": [int(i) for i in shard],
+            }
+
+        def make_payload(shard):
+            # Observation-seeded resume: the ladders never touch the
+            # samples, so skip shipping them entirely.
+            if observations is not None:
+                return {"samples": None}
+            return {"samples": [samples[i] for i in shard]}
+
+        return self._drive(
+            graph,
+            partition,
+            sizes,
+            replications,
+            truth,
+            truth_mode,
+            ladder,
+            weight_size_plugin,
+            mean_degree_model,
+            checkpoint,
+            observations,
+            cached_rungs,
+            make_payload=make_payload,
+            make_cfg=make_cfg,
+            persist_samples=False,
+        )
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        graph,
+        partition,
+        sizes: np.ndarray,
+        replications: int,
+        truth,
+        truth_mode: str,
+        ladder: str,
+        weight_size_plugin: str,
+        mean_degree_model: str,
+        checkpoint: "SweepCheckpoint | None",
+        observations: "list[dict] | None",
+        cached_rungs: dict,
+        *,
+        make_payload,
+        make_cfg,
+        persist_samples: bool,
+    ) -> SweepResult:
+        """Spawn shard workers and drive the rung loop (both modes)."""
         r, k, c = replications, len(sizes), partition.num_categories
         size_stacks = {kind: np.full((r, k, c), np.nan) for kind in KINDS}
         weight_stacks = {kind: np.full((r, k, c, c), np.nan) for kind in KINDS}
@@ -345,36 +633,60 @@ class ProcessSweepExecutor:
             for si in range(len(sizes)):
                 self._fill(size_stacks, weight_stacks, si, cached_rungs[si])
             return _reduce_stacks(
-                sizes, size_stacks, weight_stacks, truth, "exact"
+                sizes, size_stacks, weight_stacks, truth, truth_mode
             )
 
         num_workers = min(self.workers, replications)
         shards = np.array_split(np.arange(replications), num_workers)
         ctx = self._mp_context or _preferred_context()
+        want_observations = checkpoint is not None and observations is None
 
-        with sharedmem.SharedArrayPool() as pool:
-            payload = sharedmem.dumps(
-                {"graph": graph, "partition": partition, "sampler": sampler},
-                pool,
+        # Inside a plan run the ambient pool already holds the plan's
+        # named resources (pre-published once per build by run_plan), so
+        # arrays shared between cells — the Facebook world's graph and
+        # crawl samples behind every fig6 cell, a fig4 dataset stand-in
+        # behind its three design cells — resolve to existing tokens and
+        # cross the process boundary once for the whole plan. Everything
+        # else (cell-local graphs and samplers, checkpoint-restored
+        # observations) publishes through a run-local pool whose blocks
+        # are unlinked as soon as this run's workers have exited, so
+        # plan-wide shared-memory footprint stays at the resources plus
+        # one cell's worth.
+        ambient = sharedmem.active_pool()
+        with sharedmem.SharedArrayPool() as local_pool:
+            pool = (
+                sharedmem.PoolChain(ambient, local_pool)
+                if ambient is not None
+                else local_pool
             )
             connections, processes = [], []
             try:
                 for shard in shards:
+                    # One payload per shard, sliced to what that worker
+                    # reads; large arrays still publish exactly once
+                    # (the pool deduplicates by identity across shards,
+                    # and the ambient pool across a plan's cells).
+                    payload = sharedmem.dumps(
+                        {
+                            "graph": graph,
+                            "partition": partition,
+                            "observations": (
+                                None
+                                if observations is None
+                                else [observations[i] for i in shard]
+                            ),
+                            **make_payload(shard),
+                        },
+                        pool,
+                    )
                     cfg = {
-                        "seeds": [seeds[i] for i in shard],
-                        "n": n,
                         "n_pop": graph.num_nodes,
-                        "engine": engine,
                         "ladder": ladder,
                         "weight_size_plugin": weight_size_plugin,
                         "mean_degree_model": mean_degree_model,
                         "truth_sizes": truth.sizes,
-                        "want_samples": checkpoint is not None and saved is None,
-                        "samples": (
-                            None
-                            if saved is None
-                            else (saved[0][shard], saved[1][shard])
-                        ),
+                        "want_observations": want_observations,
+                        **make_cfg(shard),
                     }
                     parent_conn, child_conn = ctx.Pipe()
                     process = ctx.Process(
@@ -388,7 +700,10 @@ class ProcessSweepExecutor:
                     processes.append(process)
 
                 self._gather_samples(
-                    connections, processes, shards, checkpoint, saved, n
+                    connections, processes, checkpoint, persist_samples
+                )
+                self._gather_observations(
+                    connections, processes, checkpoint, want_observations
                 )
                 for si, size in enumerate(sizes):
                     size = int(size)
@@ -421,7 +736,9 @@ class ProcessSweepExecutor:
                         process.terminate()
                         process.join()
 
-        return _reduce_stacks(sizes, size_stacks, weight_stacks, truth, "exact")
+        return _reduce_stacks(
+            sizes, size_stacks, weight_stacks, truth, truth_mode
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -433,6 +750,7 @@ class ProcessSweepExecutor:
         if self.checkpoint_root is None:
             return None
         manifest = {
+            "mode": "fresh",
             "design": sampler.design,
             "replications": int(replications),
             "sizes": [int(s) for s in sizes],
@@ -448,17 +766,70 @@ class ProcessSweepExecutor:
         }
         return SweepCheckpoint(self.checkpoint_root, manifest, self.resume)
 
+    def _load_cached_rungs(self, checkpoint, sizes) -> dict:
+        """Every completed rung's rows, loaded once up front.
+
+        The rung loop replays from this dict instead of re-reading the
+        files; callers use its coverage to decide whether the heavier
+        samples/observations state needs loading at all.
+        """
+        if not (checkpoint and self.resume):
+            return {}
+        return {
+            si: rows
+            for si, size in enumerate(sizes)
+            if (rows := checkpoint.load_rung(si, int(size))) is not None
+        }
+
+    def _open_predrawn_checkpoint(
+        self, graph, partition, samples, sizes,
+        ladder, weight_size_plugin, mean_degree_model, truth_mode,
+    ) -> "SweepCheckpoint | None":
+        if self.checkpoint_root is None:
+            return None
+        manifest = {
+            "mode": "predrawn",
+            "replications": len(samples),
+            "sizes": [int(s) for s in sizes],
+            "ladder": ladder,
+            "weight_size_plugin": weight_size_plugin,
+            "mean_degree_model": mean_degree_model,
+            "truth_mode": truth_mode,
+            "graph": _array_digest(graph.indptr, graph.indices),
+            "partition": _array_digest(partition.labels),
+            "categories": list(partition.names),
+            # Content fingerprints of every replicate crawl: a plan
+            # resumed against regenerated-but-identical walks matches,
+            # while any drift in a single draw changes the key.
+            "samples": [
+                [_array_digest(s.nodes, s.weights), s.design, bool(s.uniform)]
+                for s in samples
+            ],
+        }
+        return SweepCheckpoint(self.checkpoint_root, manifest, self.resume)
+
     def _gather_samples(
-        self, connections, processes, shards, checkpoint, saved, n
+        self, connections, processes, checkpoint, persist: bool
     ) -> None:
         collected = []
         for conn, process in zip(connections, processes):
             message = self._receive(conn, process, "sampled")
             collected.append(message)
-        if checkpoint is not None and saved is None:
+        if persist and checkpoint is not None:
             nodes = np.concatenate([part[0] for part in collected])
             weights = np.concatenate([part[1] for part in collected])
             checkpoint.save_samples(nodes, weights)
+
+    def _gather_observations(
+        self, connections, processes, checkpoint, persist: bool
+    ) -> None:
+        collected = []
+        for conn, process in zip(connections, processes):
+            collected.append(self._receive(conn, process, "observed"))
+        if persist and checkpoint is not None:
+            checkpoint.save_observations(
+                [fields for shard in collected for fields in shard]
+            )
 
     @staticmethod
     def _broadcast(connections, message) -> None:
@@ -482,9 +853,13 @@ class ProcessSweepExecutor:
             raise EstimationError(
                 f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
             )
-        return message[1:] if expected == "sampled" else (
-            message[2] if expected == "rows" else None
-        )
+        if expected == "sampled":
+            return message[1:]
+        if expected == "rows":
+            return message[2]
+        if expected == "observed":
+            return message[1]
+        return None
 
     @staticmethod
     def _fill(size_stacks, weight_stacks, si, rows) -> None:

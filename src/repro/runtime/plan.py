@@ -1,0 +1,227 @@
+"""Execute compiled experiment plans on the parallel sweep runtime.
+
+:func:`run_plan` is the single execution path behind every experiment
+driver and the ``repro experiment`` CLI: it walks the cells of a
+:class:`~repro.experiments.plan.SweepPlan` in order, routing each
+:class:`~repro.experiments.plan.SweepCell` through
+:func:`repro.stats.replication.run_nrmse_sweep` (fresh draws) or
+:func:`~repro.stats.replication.run_nrmse_sweep_from_samples`
+(pre-drawn crawls) — and therefore through whatever executor the
+ambient runtime configuration selects — and running
+:class:`~repro.experiments.plan.ComputeCell` steps in-process.
+
+Three runtime services wrap the cell loop:
+
+* **One shared-memory pool per plan run**
+  (:func:`repro.runtime.sharedmem.shared_pool`): executors publish
+  substrate arrays into the ambient pool, which deduplicates by object
+  identity — so the Facebook world behind five Table 2 crawl cells, or
+  a dataset stand-in behind three Fig. 4 design cells, crosses the
+  process boundary exactly once for the whole plan.
+* **Plan-keyed checkpoints**
+  (:class:`repro.runtime.checkpoint.PlanCheckpoint`): with a checkpoint
+  root configured, every sweep cell checkpoints into its own
+  subdirectory of a directory keyed by the plan manifest. A killed
+  ``repro experiment fig6 --workers W --resume`` therefore replays
+  completed cells from their rung files and resumes computing at the
+  first missing cell/rung — to the same bytes as an uninterrupted run.
+* **Determinism by construction**: cells derive their RNG streams from
+  the master seed by fixed integer keys (:func:`repro.rng.derive_rng`),
+  and each sweep inherits the executor's bit-identical-for-any-worker-
+  count contract, so a plan's finalized
+  :class:`~repro.experiments.base.ExperimentResult` outputs are
+  identical for serial, 1-worker, and N-worker runs alike.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+
+from repro.runtime import sharedmem
+from repro.runtime.checkpoint import PlanCheckpoint
+from repro.runtime.config import active_options, resolve_executor
+
+__all__ = ["run_plan"]
+
+
+def run_plan(
+    plan,
+    *,
+    executor: "str | None" = None,
+    workers: int | None = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: bool | None = None,
+):
+    """Run every cell of ``plan`` and return its finalized results.
+
+    Parameters
+    ----------
+    plan:
+        A compiled :class:`~repro.experiments.plan.SweepPlan`.
+    executor / workers / checkpoint / resume:
+        Optional overrides for the sweep cells; each ``None`` defers to
+        the ambient runtime configuration
+        (:func:`repro.runtime.runtime_options`, then the environment),
+        exactly like the per-sweep entry points. ``executor`` must be a
+        built-in executor *name* (``"serial"``/``"process"``) — a plan
+        threads per-cell checkpoint roots through these knobs, which an
+        executor instance's fixed configuration cannot carry.
+        ``checkpoint`` names the user-facing checkpoint *root*; the
+        plan creates a plan-keyed directory under it with one
+        sweep-checkpoint subdirectory per cell.
+
+    Returns
+    -------
+    dict[str, ExperimentResult]
+        Whatever the plan's ``finalize`` assembles from the cell
+        outputs.
+    """
+    from repro.experiments.plan import PlanResources, SweepCell
+
+    if executor is not None and not isinstance(executor, str):
+        from repro.exceptions import ExperimentError
+
+        # An instance's fixed checkpoint/worker configuration cannot
+        # express per-cell checkpoint roots; rejecting it here (rather
+        # than letting resolve_executor trip over the ambient
+        # checkpoint being threaded through as an explicit knob) keeps
+        # the error actionable.
+        raise ExperimentError(
+            "run_plan accepts executor names ('serial'/'process'), not "
+            "executor instances; pass workers/checkpoint/resume "
+            "separately"
+        )
+    ambient = active_options()
+    checkpoint_root = checkpoint if checkpoint is not None else ambient.checkpoint
+    resume_flag = resume if resume is not None else bool(ambient.resume)
+
+    # Executor resolution is uniform across cells (jobs carry no
+    # executor knobs), so probe it once with the arguments the sweep
+    # calls below will pass: plans with sweep cells bound for the
+    # process executor get a plan checkpoint and an ambient pool
+    # (named resources pre-published once, cells chain off it).
+    # Serial and compute-only plans skip shared memory — publishing
+    # resources nobody attaches would duplicate them in /dev/shm — and
+    # must also skip opening (or clearing!) a plan checkpoint, because
+    # their cells ignore checkpoint roots entirely and a fresh-mode
+    # clear would destroy a prior parallel run's files while writing
+    # nothing.
+    parallel = bool(plan.sweep_cells) and (
+        resolve_executor(
+            executor,
+            workers,
+            checkpoint_root,
+            resume_flag if checkpoint_root is not None else resume,
+        )
+        is not None
+    )
+    plan_checkpoint = (
+        PlanCheckpoint(
+            checkpoint_root,
+            {
+                "plan": plan.name,
+                "cells": [cell.key for cell in plan.cells],
+                # Compile context (scale preset, master seed, ...): keeps
+                # e.g. small- and paper-scale runs of one experiment in
+                # separate plan directories, so a fresh run of one can
+                # never clear the other's checkpoints.
+                "context": {str(k): repr(v) for k, v in plan.context.items()},
+            },
+            resume_flag,
+        )
+        if checkpoint_root is not None and parallel
+        else None
+    )
+
+    resources = PlanResources(
+        {
+            name: _published_on_build(factory)
+            for name, factory in plan.resources.items()
+        }
+    )
+    outputs: dict[str, object] = {}
+    with sharedmem.shared_pool() if parallel else nullcontext():
+        for cell in plan.cells:
+            if isinstance(cell, SweepCell):
+                outputs[cell.key] = _run_sweep_cell(
+                    cell,
+                    resources,
+                    executor=executor,
+                    workers=workers,
+                    checkpoint=(
+                        plan_checkpoint.cell_root(cell.key)
+                        if plan_checkpoint is not None
+                        else None
+                    ),
+                    resume=resume_flag if plan_checkpoint is not None else resume,
+                )
+            else:
+                outputs[cell.key] = cell.compute(resources)
+    return plan.finalize_outputs(outputs, resources)
+
+
+def _published_on_build(factory):
+    """Publish a resource's arrays to the plan's ambient pool on build.
+
+    Cell executors then resolve these arrays to already-published
+    tokens (:class:`~repro.runtime.sharedmem.PoolChain`), while their
+    cell-local arrays go through per-run pools that are unlinked when
+    the cell finishes — the named resources are exactly the arrays
+    worth pinning for the whole plan. Serial plans never publish:
+    ``run_plan`` opens the ambient pool only for parallel executors,
+    and without an active pool this wrapper is a pass-through (the
+    resource object is returned unchanged either way).
+    """
+
+    def build():
+        value = factory()
+        pool = sharedmem.active_pool()
+        if pool is not None:
+            try:
+                sharedmem.dumps(value, pool)
+            except Exception:
+                # Publication is purely an optimization; a resource the
+                # pickler cannot handle simply ships per cell instead.
+                pass
+        return value
+
+    return build
+
+
+def _run_sweep_cell(cell, resources, *, executor, workers, checkpoint, resume):
+    """Dispatch one sweep cell to the replicated-sweep engine."""
+    from repro.stats.replication import (
+        run_nrmse_sweep,
+        run_nrmse_sweep_from_samples,
+    )
+
+    job = cell.build(resources)
+    if job.mode == "fresh":
+        return run_nrmse_sweep(
+            job.graph,
+            job.partition,
+            job.sampler,
+            job.sizes,
+            replications=job.replications,
+            rng=job.rng,
+            weight_size_plugin=job.weight_size_plugin,
+            mean_degree_model=job.mean_degree_model,
+            executor=executor,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    return run_nrmse_sweep_from_samples(
+        job.graph,
+        job.partition,
+        job.samples,
+        job.sizes,
+        weight_size_plugin=job.weight_size_plugin,
+        mean_degree_model=job.mean_degree_model,
+        truth_mode=job.truth_mode,
+        executor=executor,
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
+    )

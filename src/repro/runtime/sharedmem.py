@@ -26,12 +26,20 @@ Lifecycle: the parent owns the blocks — keep the
 from __future__ import annotations
 
 import pickle
+from contextlib import contextmanager
 from io import BytesIO
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArrayPool", "dumps", "loads"]
+__all__ = [
+    "PoolChain",
+    "SharedArrayPool",
+    "active_pool",
+    "dumps",
+    "loads",
+    "shared_pool",
+]
 
 #: Arrays smaller than this ride the pickle stream directly; the tiny
 #: ones are cheaper to copy than to publish and attach.
@@ -91,6 +99,58 @@ class SharedArrayPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class PoolChain:
+    """Publication view over a long-lived pool plus a short-lived one.
+
+    ``publish`` reuses the primary pool's token when the array is
+    already published there (plan resources, pre-published once per
+    plan run) and otherwise publishes into the overlay (cell-local
+    substrate, unlinked when the cell's run finishes). Exposes the
+    ``publish``/``threshold`` surface the plane pickler needs.
+    """
+
+    def __init__(self, primary: SharedArrayPool, overlay: SharedArrayPool):
+        self._primary = primary
+        self._overlay = overlay
+        self.threshold = overlay.threshold
+
+    def publish(self, array: np.ndarray) -> tuple:
+        token = self._primary._tokens.get(id(array))
+        if token is not None:
+            return token
+        return self._overlay.publish(array)
+
+
+#: Innermost-wins stack of ambient pools (see :func:`shared_pool`).
+_POOL_STACK: list[SharedArrayPool] = []
+
+
+@contextmanager
+def shared_pool(threshold: int = DEFAULT_THRESHOLD_BYTES):
+    """Scope one :class:`SharedArrayPool` over several executor runs.
+
+    The plan runner (:mod:`repro.runtime.plan`) wraps a whole plan in
+    one pool so that arrays shared between cells — the Facebook world's
+    graph behind every Table 2 / Fig. 5-7 cell, a dataset stand-in
+    behind several Fig. 4 design cells — are published to shared memory
+    exactly once for the plan, not once per sweep. Executors consult
+    :func:`active_pool` and leave an ambient pool open when their run
+    finishes; the blocks are unlinked when this context exits.
+    """
+    pool = SharedArrayPool(threshold)
+    _POOL_STACK.append(pool)
+    try:
+        yield pool
+    finally:
+        _POOL_STACK.remove(pool)
+        pool.close()
+
+
+def active_pool() -> "SharedArrayPool | None":
+    """The innermost ambient pool, or ``None`` outside any scope."""
+    return _POOL_STACK[-1] if _POOL_STACK else None
 
 
 class _PlanePickler(pickle.Pickler):

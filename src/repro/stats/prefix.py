@@ -85,11 +85,21 @@ class IncrementalPrefixLadder:
     """
 
     def __init__(
-        self, graph: Graph, partition: CategoryPartition, sample: NodeSample
+        self,
+        graph: Graph,
+        partition: CategoryPartition,
+        sample: NodeSample,
+        observations: "tuple[InducedObservation, StarObservation] | None" = None,
     ):
-        self._induced, self._star = observe_both(graph, partition, sample)
+        if observations is None:
+            self._induced, self._star = observe_both(graph, partition, sample)
+        else:
+            # Checkpoint-restored observations (repro.runtime): arrays
+            # round-trip exactly through npz, so a ladder seeded from
+            # disk is field-for-field the ladder observe_both builds.
+            self._induced, self._star = observations
         star = self._star
-        self._num_draws = sample.size
+        self._num_draws = star.num_draws
         self._multiplicities = np.zeros(star.num_distinct, dtype=np.int64)
         self._prefix = 0
         c = star.num_categories
@@ -124,6 +134,15 @@ class IncrementalPrefixLadder:
     def num_draws(self) -> int:
         """Full sample length (the largest valid prefix)."""
         return self._num_draws
+
+    @property
+    def observations(self) -> tuple[InducedObservation, StarObservation]:
+        """The full-sample ``(induced, star)`` pair behind the ladder.
+
+        The parallel executor serializes these into its checkpoint so a
+        resumed run can seed new ladders without re-measuring.
+        """
+        return self._induced, self._star
 
     def fold(self, size: int) -> None:
         """Advance the prefix state to ``size`` without estimating.

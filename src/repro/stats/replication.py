@@ -29,7 +29,14 @@ via shared memory, reconstructs each replicate's RNG stream from its
 spawned seed (so shard assignment cannot change a trajectory), and
 reduces the per-replicate estimate rows exactly as the serial path
 does — the resulting :class:`SweepResult` is bit-identical for any
-worker count, and supports rung-level checkpoint/resume.
+worker count, and supports rung-level checkpoint/resume. Both entry
+points ride it: :func:`run_nrmse_sweep` shards sampling *and* the
+ladder, while :func:`run_nrmse_sweep_from_samples` (pre-drawn crawls)
+ships the replicate samples through shared memory and shards the
+ladder phase alone. Each resolves executor/workers/checkpoint/resume
+from its arguments, then the ambient runtime configuration
+(:func:`repro.runtime.runtime_options`, the ``REPRO_*`` environment),
+identically.
 """
 
 from __future__ import annotations
@@ -210,6 +217,10 @@ def run_nrmse_sweep(
         weight_size_plugin=weight_size_plugin,
         mean_degree_model=mean_degree_model,
         ladder=ladder,
+        # The executor decision was already made above; without this the
+        # ambient configuration would re-route the ladder phase of an
+        # explicitly serial sweep through the process executor.
+        executor="serial",
     )
 
 
@@ -222,6 +233,10 @@ def run_nrmse_sweep_from_samples(
     mean_degree_model: str = "per-category",
     truth_mode: str = "exact",
     ladder: str = "incremental",
+    executor: "str | object | None" = None,
+    workers: int | None = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: "bool | None" = None,
 ) -> SweepResult:
     """Sweep NRMSE using pre-drawn replicate samples (e.g. crawl walks).
 
@@ -235,6 +250,14 @@ def run_nrmse_sweep_from_samples(
     ``ladder="incremental"`` (default) computes each rung as a delta
     update of running prefix aggregates; ``ladder="subset"`` re-subsets
     every rung via ``subset_draws``. Estimates are bit-for-bit identical.
+
+    ``executor``/``workers``/``checkpoint``/``resume`` mirror
+    :func:`run_nrmse_sweep` exactly: ``None`` defers to the ambient
+    runtime configuration (:func:`repro.runtime.runtime_options`, then
+    the ``REPRO_EXECUTOR``/``REPRO_WORKERS`` environment), so the
+    pre-drawn ladder phase shards across the same worker pool as the
+    fresh-draw path — with the same bit-identical-for-any-worker-count
+    contract and rung-level checkpoint/resume.
     """
     sizes = _validated_sizes(sample_sizes)
     if not samples:
@@ -252,6 +275,20 @@ def run_nrmse_sweep_from_samples(
     if ladder not in ("incremental", "subset"):
         raise EstimationError(
             f"unknown ladder {ladder!r}; use 'incremental' or 'subset'"
+        )
+    from repro.runtime.config import resolve_executor  # deferred: cycle
+
+    active = resolve_executor(executor, workers, checkpoint, resume)
+    if active is not None:
+        return active.run_from_samples(
+            graph,
+            partition,
+            list(samples),
+            sizes,
+            weight_size_plugin=weight_size_plugin,
+            mean_degree_model=mean_degree_model,
+            truth_mode=truth_mode,
+            ladder=ladder,
         )
     truth = true_category_graph(graph, partition)
     n_pop = graph.num_nodes

@@ -71,6 +71,7 @@ def test_checkpointed_run_writes_manifest_samples_and_rung_files(
     names = sorted(path.name for path in sweep_dir.iterdir())
     assert names == [
         "manifest.json",
+        "observations.npz",
         "rung_000.npz",
         "rung_001.npz",
         "rung_002.npz",
@@ -141,6 +142,69 @@ def test_fresh_checkpoint_clears_stale_files(tmp_path):
     assert reopened.load_samples() is not None
     cleared = SweepCheckpoint(tmp_path, {"probe": 2}, resume=False)
     assert cleared.load_samples() is None
+
+
+def test_resume_skips_the_observation_rebuild(world, serial, tmp_path, monkeypatch):
+    """A resumed fresh-draw sweep seeds ladders from observations.npz.
+
+    ``observe_both`` is monkeypatched to explode; fork-context workers
+    inherit the patch, so bit-identical resumed output proves the
+    per-replicate observation pass never re-ran.
+    """
+    _run(world, tmp_path)
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    assert (sweep_dir / "observations.npz").exists()
+    (sweep_dir / "rung_001.npz").unlink()
+    (sweep_dir / "rung_002.npz").unlink()
+
+    import repro.stats.prefix as prefix_module
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("resume rebuilt observe_both")
+
+    monkeypatch.setattr(prefix_module, "observe_both", explode)
+    resumed = _run(world, tmp_path, workers=2, resume=True)
+    assert_sweeps_equal(serial, resumed, "observation-seeded resume")
+
+
+def test_observation_round_trip_is_exact(world, tmp_path):
+    from repro.runtime.executor import (
+        _observation_fields,
+        _observations_restore,
+    )
+    from repro.sampling.observation import observe_both
+
+    graph, partition = world
+    sample = StratifiedWeightedWalkSampler(graph, partition).sample(300, rng=1)
+    induced, star = observe_both(graph, partition, sample)
+    checkpoint = SweepCheckpoint(tmp_path, {"probe": 3}, resume=False)
+    checkpoint.save_observations([_observation_fields(induced, star)])
+    assert checkpoint.load_observations(expected=2) is None  # count guard
+    restored = checkpoint.load_observations(expected=1)
+    induced2, star2 = _observations_restore(
+        tuple(partition.names), restored[0]
+    )
+    assert star2.design == star.design and star2.uniform == star.uniform
+    assert star2.num_draws == star.num_draws
+    for field in (
+        "draw_to_distinct",
+        "distinct_nodes",
+        "distinct_categories",
+        "distinct_multiplicities",
+        "distinct_weights",
+    ):
+        before = getattr(star, field)
+        after = getattr(star2, field)
+        assert before.dtype == after.dtype
+        np.testing.assert_array_equal(before, after)
+    np.testing.assert_array_equal(induced2.induced_edges, induced.induced_edges)
+    for field in (
+        "distinct_degrees",
+        "neighbor_indptr",
+        "neighbor_categories",
+        "neighbor_counts",
+    ):
+        np.testing.assert_array_equal(getattr(star2, field), getattr(star, field))
 
 
 def test_fully_checkpointed_sweep_replays_without_resampling(

@@ -1,0 +1,310 @@
+"""Plan-level golden equivalence and kill/resume behavior.
+
+The acceptance bar of the SweepPlan refactor: every experiment runs
+through a compiled plan, serial and ``--workers N`` outputs are
+bit-identical for any worker count — including the *pre-drawn* paths
+(fig6's crawl sweeps, the ablation plug-in study) that used to reduce
+serially — and a killed checkpointed plan resumes to the same bytes at
+the first missing cell/rung.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import compile_experiment, run_experiment
+from repro.experiments.plan import (
+    ComputeCell,
+    PlanResources,
+    SweepCell,
+    SweepJob,
+    SweepPlan,
+)
+from repro.exceptions import ExperimentError
+from repro.runtime import runtime_options
+from repro.runtime.plan import run_plan
+
+from tests.experiments.test_experiments import TINY
+
+
+def assert_results_equal(expected, actual, context=""):
+    """Bit-level equality of two ``{id: ExperimentResult}`` dicts."""
+    assert list(expected) == list(actual), context
+    for rid in expected:
+        old, new = expected[rid], actual[rid]
+        assert old.title == new.title, (context, rid)
+        assert list(old.series) == list(new.series), (context, rid)
+        for label, (xs, ys) in old.series.items():
+            assert np.array_equal(
+                np.asarray(xs), np.asarray(new.series[label][0]), equal_nan=True
+            ), (context, rid, label)
+            assert np.array_equal(
+                np.asarray(ys), np.asarray(new.series[label][1]), equal_nan=True
+            ), (context, rid, label)
+        assert old.table == new.table, (context, rid)
+        assert old.render() == new.render(), (context, rid)
+
+
+@pytest.fixture(scope="module")
+def fig6_serial():
+    return run_experiment("fig6", preset=TINY, rng=0)
+
+
+@pytest.fixture(scope="module")
+def plugin_serial():
+    from repro.experiments import run_ablations
+
+    return run_ablations(which=("plugin",), preset=TINY, rng=0)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_fig6_predrawn_cells_bit_identical_for_any_worker_count(
+    workers, fig6_serial
+):
+    with runtime_options(executor="process", workers=workers):
+        parallel = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, parallel, f"fig6 workers={workers}")
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_ablation_plugin_bit_identical_for_any_worker_count(
+    workers, plugin_serial
+):
+    from repro.experiments import run_ablations
+
+    with runtime_options(executor="process", workers=workers):
+        parallel = run_ablations(which=("plugin",), preset=TINY, rng=0)
+    assert_results_equal(plugin_serial, parallel, f"plugin workers={workers}")
+
+
+def test_killed_fig6_plan_resumes_to_the_same_bytes(fig6_serial, tmp_path):
+    """A parallel fig6 run killed mid-cell resumes bit-identically.
+
+    The kill is simulated by pruning the checkpoint to a prefix state a
+    real kill produces (rung files land atomically, one per completed
+    rung): cell 1 complete, cell 2 stopped after its first rung, later
+    cells never started.
+    """
+    with runtime_options(
+        executor="process", workers=2, checkpoint=tmp_path
+    ):
+        first = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, first, "checkpointed run")
+    plan_dir = next(tmp_path.glob("plan-*"))
+    cell_dirs = sorted(d for d in plan_dir.iterdir() if d.is_dir())
+    assert len(cell_dirs) == 5, "one sweep-checkpoint root per fig6 cell"
+    # Prune to the mid-cell kill state.
+    survivors = {cell_dirs[0].name}
+    for cell_dir in cell_dirs[1:]:
+        sweep_dir = next(cell_dir.glob("sweep-*"))
+        if cell_dir == cell_dirs[1]:
+            for rung in sorted(sweep_dir.glob("rung_*.npz"))[1:]:
+                rung.unlink()
+            survivors.add(cell_dir.name)
+        else:
+            import shutil
+
+            shutil.rmtree(cell_dir)
+    assert {d.name for d in plan_dir.iterdir() if d.is_dir()} == survivors
+
+    with runtime_options(
+        executor="process", workers=3, checkpoint=tmp_path, resume=True
+    ):
+        resumed = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, resumed, "resumed after mid-cell kill")
+    # The resumed run completed every cell's checkpoint again.
+    assert len([d for d in plan_dir.iterdir() if d.is_dir()]) == 5
+
+
+def test_plan_resume_reuses_persisted_observations(tmp_path, monkeypatch):
+    """Resume must seed ladders from observations.npz, not re-measure.
+
+    With the fork start method the workers inherit the parent's
+    monkeypatched modules, so making ``observe_both`` explode proves
+    the resumed ladder build never calls it.
+    """
+    from repro.experiments import run_ablations
+
+    with runtime_options(executor="process", workers=2, checkpoint=tmp_path):
+        first = run_ablations(which=("plugin",), preset=TINY, rng=0)
+    plan_dir = next(tmp_path.glob("plan-*"))
+    pruned = 0
+    for sweep_dir in plan_dir.glob("*/sweep-*"):
+        assert (sweep_dir / "observations.npz").exists()
+        for rung in sweep_dir.glob("rung_*.npz"):
+            rung.unlink()
+            pruned += 1
+    assert pruned, "expected checkpointed rungs to prune"
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("resume re-measured a replicate sample")
+
+    import repro.stats.prefix as prefix_module
+
+    monkeypatch.setattr(prefix_module, "observe_both", explode)
+    with runtime_options(
+        executor="process", workers=2, checkpoint=tmp_path, resume=True
+    ):
+        resumed = run_ablations(which=("plugin",), preset=TINY, rng=0)
+    assert_results_equal(first, resumed, "observation-seeded resume")
+
+
+def test_compile_experiment_exposes_every_registry_entry():
+    from repro.experiments import experiment_ids
+
+    for experiment_id in experiment_ids():
+        plan = compile_experiment(experiment_id, preset=TINY, rng=0)
+        assert plan.cells, experiment_id
+        description = plan.describe()
+        for cell in plan.cells:
+            assert cell.key in description
+    with pytest.raises(ExperimentError, match="unknown experiment"):
+        compile_experiment("fig99")
+
+
+def test_every_replicated_experiment_has_sweep_cells():
+    """The paper's replicated artifacts must ride the sweep executor."""
+    expected_sweeps = {
+        "fig3": 5,       # five shared graph configurations
+        "fig4": 12,      # four datasets x three designs
+        "fig6": 5,       # five pre-drawn crawl collections
+        "ablations": 3,  # three Eq. (16) plug-in variants
+    }
+    for experiment_id, count in expected_sweeps.items():
+        plan = compile_experiment(experiment_id, preset=TINY, rng=0)
+        assert len(plan.sweep_cells) == count, experiment_id
+
+
+def test_serial_run_never_touches_a_parallel_plan_checkpoint(tmp_path):
+    """A serial run with a checkpoint root configured must not clear a
+    prior parallel run's plan directory (serial cells ignore
+    checkpoints, so clearing would destroy data and write nothing)."""
+    from repro.experiments import run_ablations
+
+    with runtime_options(executor="process", workers=2, checkpoint=tmp_path):
+        run_ablations(which=("plugin",), preset=TINY, rng=0)
+    plan_dir = next(tmp_path.glob("plan-*"))
+    rungs_before = sorted(plan_dir.glob("*/sweep-*/rung_*.npz"))
+    assert rungs_before
+
+    with runtime_options(executor="serial", checkpoint=tmp_path):
+        run_ablations(which=("plugin",), preset=TINY, rng=0)
+    assert sorted(plan_dir.glob("*/sweep-*/rung_*.npz")) == rungs_before
+
+
+def test_plans_with_different_context_use_different_directories(tmp_path):
+    """Scale/seed are part of the plan key: runs never share (or clear)
+    each other's checkpoint directories."""
+    from repro.experiments import run_ablations
+
+    for seed in (0, 1):
+        with runtime_options(
+            executor="process", workers=2, checkpoint=tmp_path
+        ):
+            run_ablations(which=("plugin",), preset=TINY, rng=seed)
+    plan_dirs = sorted(tmp_path.glob("plan-*"))
+    assert len(plan_dirs) == 2
+    # The seed-0 artifacts survived the fresh (non-resume) seed-1 run.
+    for plan_dir in plan_dirs:
+        assert list(plan_dir.glob("*/sweep-*/rung_000.npz"))
+
+
+def test_fresh_sweep_jobs_reject_cross_sample_truth():
+    from repro.generators import planted_category_graph
+    from repro.sampling import RandomWalkSampler
+
+    graph, partition = planted_category_graph(k=4, scale=200, rng=0)
+    with pytest.raises(ExperimentError, match="pre-drawn knob"):
+        SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=(10,),
+            sampler=RandomWalkSampler(graph),
+            replications=2,
+            rng=0,
+            truth_mode="cross-sample",
+        )
+
+
+def test_fresh_sweep_jobs_require_a_seed():
+    from repro.generators import planted_category_graph
+    from repro.sampling import RandomWalkSampler
+
+    graph, partition = planted_category_graph(k=4, scale=200, rng=0)
+    with pytest.raises(ExperimentError, match="need rng="):
+        SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=(10,),
+            sampler=RandomWalkSampler(graph),
+            replications=2,
+        )
+
+
+def test_duplicate_cell_keys_rejected():
+    def build(resources):  # pragma: no cover - never built
+        raise AssertionError
+
+    with pytest.raises(ExperimentError, match="duplicate cell keys"):
+        SweepPlan(
+            name="bad",
+            cells=(
+                SweepCell(key="x", build=build),
+                ComputeCell(key="x", compute=lambda resources: None),
+            ),
+            finalize=lambda outputs, resources: {},
+        )
+
+
+def test_sweep_job_validates_its_mode():
+    from repro.generators import planted_category_graph
+    from repro.sampling import RandomWalkSampler
+
+    graph, partition = planted_category_graph(k=4, scale=200, rng=0)
+    with pytest.raises(ExperimentError, match="exactly one"):
+        SweepJob(graph=graph, partition=partition, sizes=(10,))
+    with pytest.raises(ExperimentError, match="replications"):
+        SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=(10,),
+            sampler=RandomWalkSampler(graph),
+        )
+
+
+def test_unknown_plan_resource_is_a_clear_error():
+    resources = PlanResources({"known": lambda: 1})
+    assert resources["known"] == 1
+    assert "known" in resources
+    with pytest.raises(ExperimentError, match="unknown plan resource"):
+        resources["missing"]
+
+
+def test_run_plan_rejects_executor_instances():
+    from repro.runtime import ProcessSweepExecutor
+
+    plan = SweepPlan(
+        name="probe",
+        cells=(ComputeCell(key="only", compute=lambda resources: 1),),
+    )
+    with pytest.raises(ExperimentError, match="executor names"):
+        run_plan(plan, executor=ProcessSweepExecutor(workers=1))
+
+
+def test_plan_runner_runs_compute_cells_in_process():
+    seen = []
+
+    def compute(resources):
+        seen.append(resources["token"])
+        return "payload"
+
+    plan = SweepPlan(
+        name="probe",
+        cells=(ComputeCell(key="only", compute=compute),),
+        finalize=lambda outputs, resources: dict(outputs),
+        resources={"token": lambda: 41 + 1},
+    )
+    outputs = run_plan(plan)
+    assert outputs == {"only": "payload"}
+    assert seen == [42]

@@ -73,6 +73,54 @@ def test_sampler_round_trip_samples_identically(world):
         np.testing.assert_array_equal(original.weights, copied.weights)
 
 
+def test_shared_pool_scope_is_ambient_and_deduplicates(world):
+    """A plan-scoped pool is visible to executors and publishes once."""
+    graph, partition, relation = world
+    assert sharedmem.active_pool() is None
+    with sharedmem.shared_pool(threshold=1024) as pool:
+        assert sharedmem.active_pool() is pool
+        # Two "cells" referencing the same substrate publish it once.
+        sharedmem.dumps({"graph": graph, "partition": partition}, pool)
+        first = pool.num_published
+        sharedmem.dumps(
+            {"graph": graph, "partition": partition, "relation": relation},
+            pool,
+        )
+        assert pool.num_published >= first  # relation may add planes...
+        before = pool.num_published
+        sharedmem.dumps({"again": graph, "same": partition}, pool)
+        assert pool.num_published == before  # ...re-published substrate never
+        token = pool.publish(np.arange(5000, dtype=np.int64))
+        name = token[1]
+    assert sharedmem.active_pool() is None
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):  # exit closed + unlinked
+        shared_memory.SharedMemory(name=name)
+
+
+def test_pool_chain_reuses_primary_tokens_and_overlays_new_arrays(world):
+    """Cell runs reuse plan-published arrays; new arrays stay cell-local."""
+    graph, partition, relation = world
+    with SharedArrayPool(threshold=1024) as primary:
+        sharedmem.dumps({"graph": graph}, primary)  # plan-resource publish
+        plan_wide = primary.num_published
+        with SharedArrayPool(threshold=1024) as overlay:
+            chain = sharedmem.PoolChain(primary, overlay)
+            payload = sharedmem.dumps(
+                {"graph": graph, "relation": relation}, chain
+            )
+            # The graph resolved to primary tokens; only the relation's
+            # planes landed in the (cell-local) overlay.
+            assert primary.num_published == plan_wide
+            assert 0 < overlay.num_published
+            clone = sharedmem.loads(payload)
+            np.testing.assert_array_equal(clone["graph"].indices, graph.indices)
+            np.testing.assert_array_equal(
+                clone["relation"].indices, relation.indices
+            )
+
+
 def test_close_unlinks_blocks(world):
     graph, partition, relation = world
     pool = SharedArrayPool(threshold=1024)

@@ -51,3 +51,45 @@ class TestMain:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestExperimentCommand:
+    def test_parser_accepts_runtime_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "experiment", "fig6",
+                "--workers", "3",
+                "--checkpoint", str(tmp_path),
+                "--resume",
+            ]
+        )
+        assert args.command == "experiment"
+        assert args.experiment == "fig6"
+        assert args.workers == 3
+        assert args.resume is True
+
+    def test_show_plan_lists_cells(self, capsys):
+        assert main(["experiment", "fig6", "--show-plan"]) == 0
+        out = capsys.readouterr().out
+        assert "plan fig6" in out
+        for crawl in ("MHRW09", "RW09", "UIS09", "RW10", "S-WRW10"):
+            assert crawl in out
+        assert "[sweep]" in out
+
+    def test_show_plan_marks_compute_cells(self, capsys):
+        assert main(["experiment", "table1", "--show-plan"]) == 0
+        assert "[compute]" in capsys.readouterr().out
+
+    def test_runs_and_saves_like_run(self, tmp_path, capsys):
+        assert main(["experiment", "table1", "--out", str(tmp_path)]) == 0
+        assert "table1" in capsys.readouterr().out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig6", "--resume"])
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiment", "fig99", "--show-plan"]) == 1
+        assert "error" in capsys.readouterr().err
