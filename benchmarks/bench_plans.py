@@ -1,0 +1,155 @@
+"""Bench: plan-level wall clock — DAG scheduler vs the serial cell loop.
+
+Times whole experiment *plans* (the grids behind Figs. 4/6) end to end
+under three execution modes:
+
+* ``serial`` — the in-process serial executor (no workers at all);
+* ``loop@process-wN`` — the serial cell loop over the process
+  executor: one cell at a time, each parallel internally (the pre-DAG
+  behavior, kept in-tree as the scheduler's reference twin);
+* ``dag@process-wN`` — the DAG scheduler: resources build concurrently
+  ahead of the cell frontier and independent cells overlap on the one
+  persistent worker pool.
+
+Every mode must produce byte-identical results (always asserted — this
+is the determinism contract at the plan grain); the wall-clock rows are
+written to ``BENCH_plans.json`` at the repo root under a per-scale key,
+like ``BENCH_walks.json``, so ``REPRO_SCALE=paper`` runs extend the
+same trajectory file. Each record self-describes its executor mode,
+worker count, scheduler, and the runner's core count.
+
+Timing assertions arm only where parallel hardware exists: on >=2-core
+runners at medium+ scale the DAG schedule must not lose to the serial
+cell loop (it removes pool spin-up and idle frontier time, so at worst
+it ties within noise). Single-core runners record honest rows — the
+scheduler cannot manufacture cores — and skip the bar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.runtime import runtime_options
+from repro.runtime.pool import reset_default_pools
+
+#: Plans benched: the two experiments whose grids have real DAG width
+#: (fig4: four dataset resources x three designs; fig6: five pre-drawn
+#: crawl cells over one shared world).
+EXPERIMENTS = ("fig4", "fig6")
+WORKERS = 2
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_plans.json"
+
+
+def _results_equal(a, b) -> bool:
+    if list(a) != list(b):
+        return False
+    for rid in a:
+        if list(a[rid].series) != list(b[rid].series):
+            return False
+        for label, (xs, ys) in a[rid].series.items():
+            bx, by = b[rid].series[label]
+            if not np.array_equal(np.asarray(xs), np.asarray(bx), equal_nan=True):
+                return False
+            if not np.array_equal(np.asarray(ys), np.asarray(by), equal_nan=True):
+                return False
+        if a[rid].table != b[rid].table:
+            return False
+    return True
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _merge_record(scale_name: str, record: dict) -> dict:
+    scales: dict = {}
+    if _JSON_PATH.exists():
+        try:
+            existing = json.loads(_JSON_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        scales = existing.get("scales", {})
+    scales[scale_name] = record
+    return {
+        "description": (
+            "plan-level wall clock: DAG scheduler vs serial cell loop "
+            "(byte-identical outputs asserted for every row)"
+        ),
+        "scales": scales,
+    }
+
+
+def test_plan_scheduler_wall_clock(preset, timing_asserts):
+    cores = os.cpu_count() or 1
+    record = {
+        "workload": {
+            "experiments": list(EXPERIMENTS),
+            "scale": preset.name,
+            "workers": WORKERS,
+            "cpu_cores": cores,
+            "inflight": int(os.environ.get("REPRO_PLAN_INFLIGHT", "2") or 2),
+        },
+        "plans": {},
+    }
+    print()
+    for experiment in EXPERIMENTS:
+        serial_time, serial = _timed(
+            lambda: run_experiment(experiment, rng=0, preset=preset)
+        )
+
+        def loop_run():
+            with runtime_options(
+                executor="process", workers=WORKERS, plan_scheduler="serial"
+            ):
+                return run_experiment(experiment, rng=0, preset=preset)
+
+        def dag_run():
+            with runtime_options(
+                executor="process", workers=WORKERS, plan_scheduler="dag"
+            ):
+                return run_experiment(experiment, rng=0, preset=preset)
+
+        # Fresh workers for the loop row, so it pays the spawn cost the
+        # pre-DAG per-cell behavior paid; the DAG row then reuses the
+        # live pool exactly as a real session would.
+        reset_default_pools()
+        loop_time, loop = _timed(loop_run)
+        dag_time, dag = _timed(dag_run)
+
+        assert _results_equal(serial, loop), (
+            f"{experiment}: serial-loop output diverged from serial"
+        )
+        assert _results_equal(serial, dag), (
+            f"{experiment}: DAG output diverged from serial"
+        )
+
+        record["plans"][experiment] = {
+            "serial_seconds": round(serial_time, 4),
+            f"loop@process-w{WORKERS}_seconds": round(loop_time, 4),
+            f"dag@process-w{WORKERS}_seconds": round(dag_time, 4),
+            "dag_speedup_vs_loop": round(loop_time / dag_time, 2),
+        }
+        print(
+            f"  {experiment:>6}: serial {serial_time:6.3f}s  "
+            f"loop x{WORKERS} {loop_time:6.3f}s  "
+            f"dag x{WORKERS} {dag_time:6.3f}s  "
+            f"({loop_time / dag_time:.2f}x dag vs loop)"
+        )
+
+    _JSON_PATH.write_text(
+        json.dumps(_merge_record(preset.name, record), indent=2) + "\n"
+    )
+    print(f"  -> {_JSON_PATH.name} written ({preset.name} scale)")
+
+    if timing_asserts and cores >= 2 and preset.name != "small":
+        for experiment, row in record["plans"].items():
+            assert row["dag_speedup_vs_loop"] >= 1.0, (experiment, row)

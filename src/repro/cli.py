@@ -18,11 +18,17 @@ then run it on the parallel runtime::
 
 ``--workers`` routes every replicated NRMSE sweep — fresh-draw and
 pre-drawn crawl cells alike — through the :mod:`repro.runtime` process
-executor (bit-identical output, any worker count); ``--checkpoint``
-persists each cell's completed ladder rungs under a plan-keyed
-directory and ``--resume`` continues a killed run at the first missing
-cell/rung. ``repro run`` accepts the same flags (the two commands share
-the plan path; ``experiment`` adds ``--show-plan``).
+executor (bit-identical output, any worker count). Parallel plans run
+on the dependency-aware DAG scheduler by default: resources build
+concurrently, independent cells overlap on one persistent worker pool,
+and ``--scheduler serial`` falls back to the one-cell-at-a-time
+reference loop (same bytes either way). ``--checkpoint`` persists each
+cell's completed ladder rungs under a plan-keyed directory and
+``--resume`` continues a killed run at the first missing cell/rung —
+replaying fully-cached cells without rebuilding their substrates.
+``repro run`` accepts the same flags (the two commands share the plan
+path; ``experiment`` adds ``--show-plan``, which renders the plan's
+DAG: resources, cells, and their ``<-`` dependency edges).
 """
 
 from __future__ import annotations
@@ -149,6 +155,17 @@ def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
             "(requires --checkpoint)"
         ),
     )
+    command.add_argument(
+        "--scheduler",
+        choices=("dag", "serial"),
+        default=None,
+        help=(
+            "how a parallel plan schedules its cells: 'dag' (default; "
+            "overlap independent cells on one persistent worker pool) "
+            "or 'serial' (the one-cell-at-a-time reference loop). "
+            "Output is bit-identical either way."
+        ),
+    )
 
 
 def _runtime_scope(args):
@@ -158,16 +175,20 @@ def _runtime_scope(args):
     wants_executor = (
         args.workers is not None or args.checkpoint is not None or args.resume
     )
-    if not wants_executor:
+    if not wants_executor and args.scheduler is None:
         from contextlib import nullcontext
 
         return nullcontext()
     return runtime_options(
-        executor="process",
+        # --scheduler alone must not force the process executor: the
+        # knob only selects how a *parallel* plan (selected elsewhere,
+        # e.g. REPRO_EXECUTOR) schedules its cells.
+        executor="process" if wants_executor else None,
         workers=args.workers,
         checkpoint=args.checkpoint,
         # absent flag = unset, so ambient/env resume settings still apply
         resume=True if args.resume else None,
+        plan_scheduler=args.scheduler,
     )
 
 

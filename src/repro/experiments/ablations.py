@@ -141,6 +141,7 @@ def _plugin_cell(plugin: str) -> SweepCell:
         key=f"plugin:{plugin}",
         build=build,
         axes={"study": "plugin", "weight_size_plugin": plugin},
+        needs=("plugin-walks",),
     )
 
 

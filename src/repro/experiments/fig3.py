@@ -12,7 +12,11 @@ Eight panels, two rows:
 Every panel compares induced-subgraph (Eq. 4/8) against star (Eq. 5/9)
 estimators under UIS. Five underlying graph configurations serve all
 eight panels; each compiles to one fresh-draw cell of the experiment's
-:class:`~repro.experiments.plan.SweepPlan` and is swept once and shared.
+:class:`~repro.experiments.plan.SweepPlan` and is swept once and
+shared. The cells build their own (small) planted graphs and declare
+no resource needs — they are DAG roots, all ready the moment the plan
+starts, so the scheduler overlaps them freely up to its in-flight
+bound.
 """
 
 from __future__ import annotations

@@ -10,7 +10,10 @@ the median NRMSE of the weight estimators across category pairs.
 The experiment compiles to a (dataset x design) grid of fresh-draw
 sweep cells; each dataset stand-in (graph + community partition) is a
 plan resource, built once and shared by its three design cells — and
-published to worker shards once when the plan runs in parallel.
+published to worker shards once when the plan runs in parallel. Cells
+declare their stand-in via ``needs``, so the DAG scheduler builds the
+four datasets concurrently ahead of the cell frontier and starts each
+dataset's design cells the moment *its* stand-in is ready.
 """
 
 from __future__ import annotations
@@ -94,6 +97,9 @@ def compile_fig4(
         finalize=finalize,
         resources=resources,
         context={"scale": preset.name, "seed": int(rng)},
+        # finalize reads every stand-in's metadata (nodes/edges/sizes)
+        # for the result notes, so resumed plans keep building them.
+        finalize_needs=tuple(f"dataset:{name}" for name in names),
     )
 
 
@@ -149,6 +155,7 @@ def _design_cell(
             "design": sampler_name,
             "R": preset.replications,
         },
+        needs=(f"dataset:{name}",),
     )
 
 

@@ -40,6 +40,7 @@ def compile_fig5(
             key=f"fig5{panel}",
             compute=_panel_builder(panel, year, preset),
             axes={"panel": panel, "year": year},
+            needs=("world",),
         )
         for panel, year in _PANELS
     )

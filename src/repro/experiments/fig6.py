@@ -110,6 +110,9 @@ def compile_fig6(
         finalize=finalize,
         resources=resources,
         context={"scale": preset.name, "seed": int(rng)},
+        # finalize re-derives the scored categories/pairs from the
+        # world, so even a fully rung-cached resume still builds it.
+        finalize_needs=("world",),
     )
 
 
@@ -141,6 +144,7 @@ def _dataset_cell(name: str, year: int, preset: ScalePreset) -> SweepCell:
         key=name,
         build=build,
         axes={"crawl": name, "year": year, "mode": "predrawn"},
+        needs=("world",),
     )
 
 

@@ -91,7 +91,9 @@ def compile_fig7(
         )
 
     cells = tuple(
-        ComputeCell(key=key, compute=compute, axes={"panel": key[-1]})
+        ComputeCell(
+            key=key, compute=compute, axes={"panel": key[-1]}, needs=("world",)
+        )
         for key, compute in (
             ("fig7a", panel_a),
             ("fig7b", panel_b),

@@ -28,6 +28,16 @@ at once:
   missing cell/rung, because each cell checkpoints under a plan-keyed
   directory (:class:`repro.runtime.checkpoint.PlanCheckpoint`).
 
+Cells and the finalize step **declare** which resources they read
+(``needs=`` / ``finalize_needs=``), so a compiled plan is a dependency
+DAG, not just a list: the DAG scheduler
+(:mod:`repro.runtime.scheduler`) builds resources concurrently ahead of
+the cell frontier and overlaps independent cells on one persistent
+worker pool. The declaration is about *scheduling*, never correctness —
+:class:`PlanResources` is thread-safe and builds any undeclared
+resource on first access; a declared-but-unused resource merely builds
+early.
+
 Cells are independent by construction (each derives its own RNG stream
 via :func:`repro.rng.derive_rng` keying), so cell order never affects
 any output — only the wall-clock schedule.
@@ -35,6 +45,7 @@ any output — only the wall-clock schedule.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -123,10 +134,11 @@ class SweepCell:
     stand-ins, or pulling pre-drawn crawls out of the plan's shared
     resources. Resolution is deferred so heavy inputs stay shared
     through :class:`PlanResources` instead of being captured per cell.
-    (A resumed plan still builds every cell's substrate: the sweep
-    manifest that keys a cell's checkpoint is fingerprinted from the
-    concrete job, so even a fully-cached cell needs its inputs to
-    prove the cache matches.)
+    ``needs`` names the plan resources ``build`` reads; the DAG
+    scheduler holds the cell until they are built (and uses the
+    declaration to decide which resources a resumed plan still needs
+    at all — a fully rung-cached cell replays from its checkpoint
+    without ``build`` ever running).
     """
 
     key: str
@@ -134,6 +146,9 @@ class SweepCell:
     #: Free-form scenario coordinates (design, budget, partition, ...);
     #: purely descriptive — shown by ``repro experiment --show-plan``.
     axes: Mapping[str, object] = field(default_factory=dict)
+    #: Names of the plan resources ``build`` reads (the cell's inbound
+    #: DAG edges). Declarative only: undeclared access still works.
+    needs: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -142,12 +157,15 @@ class ComputeCell:
 
     Runs in the parent process — these steps are cheap relative to the
     replicated sweeps and keep the whole experiment inside one plan, so
-    ``repro experiment <name>`` covers tables and maps too.
+    ``repro experiment <name>`` covers tables and maps too. ``needs``
+    declares the resources ``compute`` reads, exactly as for
+    :class:`SweepCell`.
     """
 
     key: str
     compute: "Callable[[PlanResources], object]"
     axes: Mapping[str, object] = field(default_factory=dict)
+    needs: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -180,6 +198,11 @@ class SweepPlan:
         the plan checkpoint manifest so runs of the same experiment at
         different scales/seeds never share (or clear) each other's
         checkpoint directories.
+    finalize_needs:
+        Names of the plan resources ``finalize`` reads. The DAG
+        scheduler uses this to keep building resources a resumed plan
+        still needs even when every cell that declared them was
+        replayed from its checkpoint.
     """
 
     name: str
@@ -187,12 +210,27 @@ class SweepPlan:
     finalize: "Callable[[dict[str, object], PlanResources], dict[str, ExperimentResult]] | None" = None
     resources: Mapping[str, Callable[[], object]] = field(default_factory=dict)
     context: Mapping[str, object] = field(default_factory=dict)
+    finalize_needs: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         keys = [cell.key for cell in self.cells]
         if len(set(keys)) != len(keys):
             raise ExperimentError(
                 f"plan {self.name!r} has duplicate cell keys: {sorted(keys)}"
+            )
+        known = set(self.resources)
+        for cell in self.cells:
+            unknown = set(cell.needs) - known
+            if unknown:
+                raise ExperimentError(
+                    f"plan {self.name!r} cell {cell.key!r} needs undeclared "
+                    f"resources: {sorted(unknown)}"
+                )
+        unknown = set(self.finalize_needs) - known
+        if unknown:
+            raise ExperimentError(
+                f"plan {self.name!r} finalize needs undeclared resources: "
+                f"{sorted(unknown)}"
             )
 
     def finalize_outputs(
@@ -209,12 +247,32 @@ class SweepPlan:
         return tuple(c for c in self.cells if isinstance(c, SweepCell))
 
     def describe(self) -> str:
-        """Human-readable cell listing (``repro experiment --show-plan``)."""
-        lines = [f"plan {self.name}: {len(self.cells)} cells"]
+        """Render the plan's DAG (``repro experiment --show-plan``).
+
+        Resources first (the scheduler builds them concurrently, ahead
+        of the cell frontier), then every cell with its kind, axes, and
+        inbound ``<-`` resource edges, then the finalize step's edges.
+        Cells with no ``<-`` line are roots: ready the moment the plan
+        starts.
+        """
+        header = f"plan {self.name}: {len(self.cells)} cells"
+        if self.resources:
+            header += (
+                f", {len(self.resources)} resource"
+                + ("s" if len(self.resources) != 1 else "")
+            )
+        lines = [header]
+        for name in self.resources:
+            lines.append(f"  [resource] {name}")
         for cell in self.cells:
             kind = "sweep" if isinstance(cell, SweepCell) else "compute"
             axes = ", ".join(f"{k}={v}" for k, v in cell.axes.items())
-            lines.append(f"  [{kind}] {cell.key}" + (f"  ({axes})" if axes else ""))
+            line = f"  [{kind}] {cell.key}" + (f"  ({axes})" if axes else "")
+            if cell.needs:
+                line += "  <- " + ", ".join(cell.needs)
+            lines.append(line)
+        if self.finalize_needs:
+            lines.append("  [finalize] <- " + ", ".join(self.finalize_needs))
         return "\n".join(lines)
 
 
@@ -226,23 +284,54 @@ class PlanResources:
     return the same object — which is what lets the runtime's
     shared-memory pool publish each resource's arrays exactly once for
     the whole plan (publication deduplicates by object identity).
+
+    Thread-safe with single-build semantics: under the DAG scheduler,
+    resource prefetch threads and cell driver threads race on first
+    access, and every racer must receive the *same* object (two copies
+    of a world would be published twice and could, in principle, even
+    differ). The first accessor builds while later ones block on the
+    name's event; a factory failure is re-raised to every waiter.
     """
 
     def __init__(self, factories: Mapping[str, Callable[[], object]]):
         self._factories = dict(factories)
         self._built: dict[str, object] = {}
+        self._failed: dict[str, BaseException] = {}
+        self._events: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
 
     def __getitem__(self, name: str) -> object:
-        if name not in self._built:
-            try:
-                factory = self._factories[name]
-            except KeyError:
+        with self._lock:
+            if name in self._built:
+                return self._built[name]
+            if name in self._failed:
+                raise self._failed[name]
+            if name not in self._factories:
                 raise ExperimentError(
                     f"unknown plan resource {name!r}; "
                     f"available: {', '.join(sorted(self._factories)) or 'none'}"
-                ) from None
-            self._built[name] = factory()
-        return self._built[name]
+                )
+            event = self._events.get(name)
+            builder = event is None
+            if builder:
+                event = self._events[name] = threading.Event()
+        if not builder:
+            event.wait()
+            with self._lock:
+                if name in self._built:
+                    return self._built[name]
+                raise self._failed[name]
+        try:
+            value = self._factories[name]()
+        except BaseException as error:
+            with self._lock:
+                self._failed[name] = error
+            event.set()
+            raise
+        with self._lock:
+            self._built[name] = value
+        event.set()
+        return value
 
     def __contains__(self, name: str) -> bool:
         return name in self._factories

@@ -3,7 +3,8 @@
 Regenerates the table with both the published numbers and the realised
 statistics of our stand-in graphs, so the substitution error is always
 visible. Compiles to one compute cell per dataset row; ``finalize``
-assembles the table.
+assembles the table. The rows load their datasets directly and declare
+no resource needs (DAG roots — independent by construction).
 """
 
 from __future__ import annotations

@@ -43,6 +43,7 @@ def compile_table2(
             key=f"row:{name}",
             compute=_row_builder(name),
             axes={"crawl": name},
+            needs=("world",),
         )
         for name in names
     )
@@ -78,6 +79,8 @@ def compile_table2(
         finalize=finalize,
         resources=resources,
         context={"scale": preset.name, "seed": int(rng)},
+        # finalize reads world-level counts for the table notes.
+        finalize_needs=("world",),
     )
 
 

@@ -2,18 +2,26 @@
 
 The layer between the sampling/estimation kernels and the experiments
 harness. Every experiment compiles to a declarative
-:class:`~repro.experiments.plan.SweepPlan` — a grid of scenario cells
-(substrate x partition x design x budget ladder x replications, fresh
-or pre-drawn) plus a finalize step — and :func:`run_plan` executes it:
-:class:`ProcessSweepExecutor` runs each replicated NRMSE sweep cell
-across worker processes (fresh-draw sweeps via
+:class:`~repro.experiments.plan.SweepPlan` — a dependency DAG of
+resource builds, scenario cells (substrate x partition x design x
+budget ladder x replications, fresh or pre-drawn), and a finalize step
+— and :func:`run_plan` executes it. Parallel plans default to the
+**DAG scheduler** (:mod:`repro.runtime.scheduler`): resources build
+concurrently ahead of the cell frontier, ready cells overlap on one
+**persistent worker pool** (:mod:`repro.runtime.pool` — workers spawn
+once per process and serve every cell's shard tasks, so cell ``k+1``'s
+sampling fills the gaps in cell ``k``'s ladder drain), and the
+one-cell-at-a-time loop is kept as the reference twin
+(``scheduler="serial"`` / ``REPRO_PLAN_SCHEDULER``). Each sweep cell
+runs on :class:`ProcessSweepExecutor` (fresh-draw sweeps via
 :meth:`~ProcessSweepExecutor.run`, pre-drawn crawl sweeps via
 :meth:`~ProcessSweepExecutor.run_from_samples`), publishing the plan's
 shared substrate once through shared memory
-(:mod:`repro.runtime.sharedmem` — one pool per plan run, deduplicated
-across cells), bounding variate memory via the batched engine's chunked
-step windows, and checkpointing every completed ladder rung plus the
-compressed per-replicate observations
+(:mod:`repro.runtime.sharedmem` — one ambient pool per plan run,
+deduplicated across cells; cell-local blocks are retired from the
+persistent workers when their cell finishes), bounding variate memory
+via the batched engine's chunked step windows, and checkpointing every
+completed ladder rung plus the compressed per-replicate observations
 (:mod:`repro.runtime.checkpoint`) so paper-scale runs survive being
 killed. Select the executor per call
 (``run_nrmse_sweep(executor="process", workers=4)``), per scope
@@ -21,13 +29,18 @@ killed. Select the executor per call
 ``REPRO_WORKERS`` — how CI runs whole suites under the parallel path),
 or per plan (``repro experiment fig6 --workers 4``). Both replicated
 entry points — :func:`~repro.stats.replication.run_nrmse_sweep` and
-:func:`~repro.stats.replication.run_nrmse_sweep_from_samples` — resolve
-the ambient configuration identically.
+:func:`~repro.stats.replication.run_nrmse_sweep_from_samples` —
+resolve the ambient configuration identically, and bare sweeps reuse
+the same process-wide worker pool, so back-to-back sweeps in one
+Python process — a plan's cells, a library session, a test suite —
+spawn workers once, not once per sweep. (Separate CLI invocations are
+separate processes; each spawns its pool once.)
 
 The determinism contract
 ------------------------
-Plan output is **bit-identical** to the serial engine, for every worker
-count, by construction rather than by tolerance:
+Plan output is **bit-identical** to the serial engine — for every
+worker count, and for every cell schedule the DAG scheduler might
+choose — by construction rather than by tolerance:
 
 1. **Streams are named by seed, not by schedule.** The master generator
    spawns one integer seed per replicate
@@ -38,22 +51,26 @@ count, by construction rather than by tolerance:
    to workers byte-for-byte through shared memory. Plan cells derive
    their master streams by fixed integer keys
    (:func:`repro.rng.derive_rng`), so cell order is irrelevant too.
-   Shard assignment, worker count, and completion order cannot reach a
-   trajectory.
-2. **Kernels are shard-blind.** A worker advances its replicate block
-   through the same batched frontier kernels
+   Shard assignment, worker count, cell interleaving, and completion
+   order cannot reach a trajectory.
+2. **Kernels are shard-blind and schedule-blind.** A worker advances
+   its replicate block through the same batched frontier kernels
    (:func:`repro.sampling.batch.sample_streams`), which are bit-equal
    to the sequential samplers per stream — the PR-1/PR-2 contract this
    layer inherits. Chunked variate windows preserve it because chunked
-   ``Generator.random`` calls yield the identical value stream.
+   ``Generator.random`` calls yield the identical value stream; a
+   persistent worker running two cells' tasks in parallel threads
+   preserves it because tasks share no mutable state.
 3. **Estimation rows share one code path.** Each replicate's rung rows
    come from the same ``_rung_rows`` / prefix-ladder code the serial
-   sweep runs; rows are placed by absolute replicate index and reduced
-   by the serial reducer (including the cross-sample pseudo-truth
-   reduction of the paper's Section 7.2 convention). No float is added
-   in a different order.
-4. **Resume is exact.** Checkpointed rungs are replayed from disk while
-   workers fold their integer multiplicity state forward
+   sweep runs; rows are placed by (cell, absolute replicate index) and
+   every cell is reduced by the serial reducer (including the
+   cross-sample pseudo-truth reduction of the paper's Section 7.2
+   convention). No float is added in a different order, whichever
+   cells were in flight together.
+4. **Resume is exact — and substrate-free when possible.**
+   Checkpointed rungs are replayed from disk while workers fold their
+   integer multiplicity state forward
    (:meth:`repro.stats.prefix.IncrementalPrefixLadder.fold` — adding a
    draw's multiplicity is order-free integer arithmetic), and ladders
    are seeded from the checkpointed ``observe_both`` observations —
@@ -63,15 +80,31 @@ count, by construction rather than by tolerance:
    manifest (experiment id + cell grid), each cell's sweep directory
    by a manifest fingerprint (seeds or pre-drawn sample digests,
    ladder, estimator knobs, graph/partition/sampler content), so a
-   stale checkpoint can never contaminate a non-matching run. A killed
-   ``repro experiment <name> --resume`` restarts at the first missing
-   cell/rung.
+   stale checkpoint can never contaminate a non-matching run.
+   Completed cells additionally record their sweep key in the plan's
+   ``cells.json`` and persist their truth arrays, so a resumed plan
+   *replays* a fully rung-cached cell
+   (:func:`repro.runtime.executor.replay_sweep`) without rebuilding
+   its substrate — the remaining cells resume at their first missing
+   rung as before. A killed ``repro experiment <name> --resume``
+   therefore restarts exactly where it died, to the same bytes, even
+   when several cells were in flight. One trust boundary is inherent
+   to skipping the rebuild: the replay path cannot re-fingerprint a
+   substrate it never constructs, so it trusts the recorded key under
+   a matching *plan* manifest (experiment id, cell grid, scale preset,
+   master seed). Substrate drift that those inputs cannot see —
+   editing a generator's code between runs — is caught on the
+   build-and-resume path (content digests in the sweep manifest) but
+   not on the replay path; after changing substrate-producing code,
+   run once without ``--resume`` (or delete the plan directory) rather
+   than resuming into it.
 
-``tests/runtime/`` enforces all four properties (``test_plan.py`` at
-the plan grain, including fig6/ablation pre-drawn cells at 1/2/3
-workers and mid-cell kill/resume); the golden sweep regression
-additionally pins the executor against the serial reference for every
-registered design.
+``tests/runtime/`` enforces all four properties —
+``test_scheduler.py`` at the DAG grain (fig4 and fig6 bit-equal
+serial-loop vs DAG at 1/2/3 workers, mid-plan kill with cells in
+flight, substrate-free replay), ``test_plan.py`` at the plan grain —
+and the golden sweep regression additionally pins the executor against
+the serial reference for every registered design.
 """
 
 from repro.runtime.checkpoint import PlanCheckpoint, SweepCheckpoint
@@ -79,20 +112,31 @@ from repro.runtime.config import (
     RuntimeOptions,
     active_options,
     resolve_executor,
+    resolve_plan_scheduler,
     runtime_options,
 )
-from repro.runtime.executor import ProcessSweepExecutor
+from repro.runtime.executor import ProcessSweepExecutor, replay_sweep
 from repro.runtime.plan import run_plan
+from repro.runtime.pool import (
+    PersistentWorkerPool,
+    default_pool,
+    reset_default_pools,
+)
 from repro.runtime.sharedmem import SharedArrayPool
 
 __all__ = [
+    "PersistentWorkerPool",
     "PlanCheckpoint",
     "ProcessSweepExecutor",
     "RuntimeOptions",
     "SharedArrayPool",
     "SweepCheckpoint",
     "active_options",
+    "default_pool",
+    "replay_sweep",
+    "reset_default_pools",
     "resolve_executor",
+    "resolve_plan_scheduler",
     "run_plan",
     "runtime_options",
 ]

@@ -15,7 +15,12 @@ per-sweep directory under the user's checkpoint root:
 * ``rung_<k>.npz`` — the per-replicate estimate rows of ladder rung
   ``k``, one file per completed rung (the resume grain the CLI's
   ``--resume`` promises: a run killed after rung ``k`` recomputes
-  nothing up to and including ``k``).
+  nothing up to and including ``k``);
+* ``truth.npz`` — the truth category graph the sweep reduces against,
+  written once. With the manifest and a full set of rung files this
+  makes the sweep *replayable without its substrate*
+  (:func:`repro.runtime.executor.replay_sweep`): a resumed plan
+  rebuilds neither the world nor the sampler for a completed cell.
 
 The directory name embeds a *manifest key*: a SHA-256 over everything
 that determines the sweep's output bit-for-bit — design, replicate
@@ -28,9 +33,11 @@ fresh run never trusts old files.
 
 One level up, :class:`PlanCheckpoint` keys a whole experiment plan
 (:mod:`repro.experiments.plan`): each sweep cell checkpoints into its
-own subdirectory of a plan-keyed directory, so a killed
+own subdirectory of a plan-keyed directory, and completed cells record
+their sweep manifest key in the plan's ``cells.json``, so a killed
 ``repro experiment fig6 --resume`` replays every completed cell from
-its rung files and resumes computing at the first missing cell/rung.
+its rung files — without rebuilding the cell's substrate — and resumes
+computing at the first missing cell/rung.
 
 All writes are atomic (temp file + ``os.replace``), so a kill mid-write
 leaves either the previous state or the new one, never a torn file.
@@ -43,11 +50,18 @@ import json
 import os
 import re
 import shutil
+import threading
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["PlanCheckpoint", "SweepCheckpoint", "manifest_key"]
+__all__ = [
+    "PlanCheckpoint",
+    "SweepCheckpoint",
+    "manifest_key",
+    "read_rung",
+    "read_truth",
+]
 
 #: Bump when the on-disk layout changes; part of the manifest key.
 CHECKPOINT_FORMAT = 2
@@ -87,6 +101,47 @@ def _atomic_write(path: Path, writer) -> None:
     with open(tmp, "wb") as handle:
         writer(handle)
     os.replace(tmp, path)
+
+
+def read_rung(path: Path, size: int) -> "tuple[np.ndarray, ...] | None":
+    """Rows of one persisted rung file, or ``None`` if absent/mismatched.
+
+    Module-level so :func:`repro.runtime.executor.replay_sweep` can
+    read a recorded sweep directory without opening (and therefore
+    re-fingerprinting) a :class:`SweepCheckpoint`.
+    """
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            if int(data["size"]) != int(size):
+                return None
+            return tuple(data[field] for field in _ROW_FIELDS)
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def read_truth(directory: Path, names: tuple) -> "object | None":
+    """The persisted truth category graph of a sweep directory.
+
+    Rebuilds the :class:`~repro.graph.category_graph.CategoryGraph` a
+    run reduced against from ``truth.npz`` (see
+    :meth:`SweepCheckpoint.save_truth`); arrays round-trip npz exactly,
+    so a replayed reduction is bit-identical to the original one.
+    """
+    from repro.graph.category_graph import CategoryGraph
+
+    path = directory / "truth.npz"
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            cuts = data["cuts"] if "cuts" in data.files else None
+            return CategoryGraph(
+                data["sizes"], data["weights"], names=names, cuts=cuts
+            )
+    except (OSError, ValueError, KeyError):
+        return None
 
 
 class SweepCheckpoint:
@@ -194,6 +249,29 @@ class SweepCheckpoint:
         )
 
     # ------------------------------------------------------------------
+    # Truth arrays (written once; enable substrate-free replay)
+    # ------------------------------------------------------------------
+    @property
+    def truth_path(self) -> Path:
+        return self.directory / "truth.npz"
+
+    def save_truth(self, truth) -> None:
+        """Persist the truth category graph the sweep reduces against.
+
+        Together with the manifest (sizes, replication count, category
+        names, truth mode) and the rung files, this makes a completed
+        sweep replayable by :func:`repro.runtime.executor.replay_sweep`
+        without rebuilding its substrate. Written once — under a
+        matching manifest the truth is identical by construction.
+        """
+        if self.truth_path.exists():
+            return
+        arrays = {"sizes": truth.sizes, "weights": truth.weights}
+        if truth.cuts is not None:
+            arrays["cuts"] = truth.cuts
+        _atomic_write(self.truth_path, lambda h: np.savez(h, **arrays))
+
+    # ------------------------------------------------------------------
     # Rung rows (one file per completed ladder rung)
     # ------------------------------------------------------------------
     def rung_path(self, rung_index: int) -> Path:
@@ -203,16 +281,7 @@ class SweepCheckpoint:
         self, rung_index: int, size: int
     ) -> "tuple[np.ndarray, ...] | None":
         """Rows of a completed rung, or ``None`` if absent/mismatched."""
-        path = self.rung_path(rung_index)
-        if not path.exists():
-            return None
-        try:
-            with np.load(path) as data:
-                if int(data["size"]) != int(size):
-                    return None
-                return tuple(data[field] for field in _ROW_FIELDS)
-        except (OSError, ValueError, KeyError):
-            return None
+        return read_rung(self.rung_path(rung_index), size)
 
     def save_rung(self, rung_index: int, size: int, rows: tuple) -> None:
         arrays = dict(zip(_ROW_FIELDS, rows))
@@ -258,12 +327,21 @@ class PlanCheckpoint:
     Resume semantics fall out of the layering: cells whose sweeps are
     fully checkpointed replay from their rung files without spawning
     workers, and the first cell with a missing rung resumes computing
-    exactly there.
+    exactly there. Completed cells additionally record their sweep
+    manifest key in ``cells.json`` (:meth:`record_cell`), which is what
+    lets a resumed plan replay a fully rung-cached cell via
+    :func:`repro.runtime.executor.replay_sweep` without rebuilding its
+    substrate just to re-derive that key.
+
+    Thread-safe where it must be: the DAG scheduler completes cells
+    concurrently, so the cell registry writes are serialized by a lock
+    (cell *data* needs none — every cell owns a disjoint directory).
     """
 
     def __init__(self, root: "str | os.PathLike", manifest: dict, resume: bool):
         self.manifest = dict(manifest, format=CHECKPOINT_FORMAT)
         self.key = manifest_key(self.manifest)
+        self._cells_lock = threading.Lock()
         self.directory = Path(root) / f"plan-{self.key}"
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest_path = self.directory / "plan.json"
@@ -289,3 +367,37 @@ class PlanCheckpoint:
     def cell_root(self, key: str) -> Path:
         """The sweep-checkpoint root directory for one plan cell."""
         return self.directory / _safe_cell_name(key)
+
+    # ------------------------------------------------------------------
+    # Completed-cell registry (substrate-free resume)
+    # ------------------------------------------------------------------
+    @property
+    def cells_path(self) -> Path:
+        return self.directory / "cells.json"
+
+    def recorded_cells(self) -> dict[str, str]:
+        """``{cell key: sweep manifest key}`` of completed cells."""
+        try:
+            mapping = json.loads(self.cells_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return mapping if isinstance(mapping, dict) else {}
+
+    def record_cell(self, cell_key: str, sweep_key: str) -> None:
+        """Record a completed cell's sweep manifest key (thread-safe).
+
+        The recorded key is *trusted* by the substrate-free replay path
+        (under this plan's own manifest key), so callers must record
+        only after the sweep is fully checkpointed — a key always names
+        a complete, replayable directory or replay falls back to the
+        build-and-fingerprint path.
+        """
+        with self._cells_lock:
+            mapping = self.recorded_cells()
+            if mapping.get(cell_key) == sweep_key:
+                return
+            mapping[cell_key] = sweep_key
+            payload = json.dumps(mapping, indent=2, sort_keys=True) + "\n"
+            _atomic_write(
+                self.cells_path, lambda h: h.write(payload.encode())
+            )

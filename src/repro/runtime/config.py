@@ -26,7 +26,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["RuntimeOptions", "runtime_options", "active_options", "resolve_executor"]
+__all__ = [
+    "RuntimeOptions",
+    "active_options",
+    "resolve_executor",
+    "resolve_plan_scheduler",
+    "runtime_options",
+]
 
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -45,6 +51,11 @@ class RuntimeOptions:
     #: Tri-state: ``None`` falls through to the next layer, so an inner
     #: scope can force a fresh run with an explicit ``False``.
     resume: bool | None = None
+    #: How ``run_plan`` schedules a parallel plan's cells: ``"dag"``
+    #: (dependency-aware overlap on the persistent worker pool) or
+    #: ``"serial"`` (the one-cell-at-a-time reference loop).
+    #: ``None`` falls through (default: ``"dag"``).
+    plan_scheduler: str | None = None
 
 
 #: Innermost-wins stack of ambient option layers.
@@ -57,6 +68,7 @@ def runtime_options(
     workers: int | None = None,
     checkpoint: "str | os.PathLike | None" = None,
     resume: bool | None = None,
+    plan_scheduler: str | None = None,
 ):
     """Install ambient executor defaults for the enclosed block."""
     layer = RuntimeOptions(
@@ -64,6 +76,7 @@ def runtime_options(
         workers=None if workers is None else int(workers),
         checkpoint=None if checkpoint is None else Path(checkpoint),
         resume=None if resume is None else bool(resume),
+        plan_scheduler=plan_scheduler,
     )
     _STACK.append(layer)
     try:
@@ -88,11 +101,13 @@ def _env_options() -> RuntimeOptions:
             ) from None
     else:
         workers = None
+    scheduler_env = os.environ.get("REPRO_PLAN_SCHEDULER", "").strip() or None
     return RuntimeOptions(
         executor=executor,
         workers=workers,
         checkpoint=Path(checkpoint_env) if checkpoint_env else None,
         resume=(resume_env in _TRUTHY) if resume_env else None,
+        plan_scheduler=scheduler_env,
     )
 
 
@@ -107,8 +122,36 @@ def active_options() -> RuntimeOptions:
                 layer.checkpoint if layer.checkpoint is not None else merged.checkpoint
             ),
             resume=layer.resume if layer.resume is not None else merged.resume,
+            plan_scheduler=(
+                layer.plan_scheduler
+                if layer.plan_scheduler is not None
+                else merged.plan_scheduler
+            ),
         )
     return merged
+
+
+def resolve_plan_scheduler(scheduler: str | None) -> str:
+    """Resolve a ``run_plan`` scheduler selection to ``"dag"``/``"serial"``.
+
+    ``None`` defers to the ambient configuration
+    (:func:`runtime_options`, then ``REPRO_PLAN_SCHEDULER``), and
+    finally to ``"dag"`` — the DAG schedule is the default because its
+    output is bit-identical to the serial cell loop by contract; the
+    loop is kept as the reference twin (and for serial executors, which
+    have no worker pool to overlap cells on).
+    """
+    if scheduler is None:
+        scheduler = active_options().plan_scheduler
+        if scheduler is None:
+            scheduler = "dag"
+    if scheduler not in ("dag", "serial"):
+        from repro.exceptions import EstimationError
+
+        raise EstimationError(
+            f"unknown plan scheduler {scheduler!r}; use 'dag' or 'serial'"
+        )
+    return scheduler
 
 
 def resolve_executor(

@@ -43,9 +43,9 @@ instead of re-running the per-replicate observation pass.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
-import traceback
 from io import BytesIO
 from pathlib import Path
 
@@ -58,7 +58,8 @@ from repro.graph.partition import CategoryPartition
 from repro.graph.union import UnionCSR
 from repro.rng import ensure_rng, spawn_seeds
 from repro.runtime import sharedmem
-from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.checkpoint import SweepCheckpoint, read_rung, read_truth
+from repro.runtime.pool import default_pool, default_workers
 from repro.sampling.base import NodeSample, Sampler
 from repro.sampling.batch import sample_streams
 from repro.sampling.observation import (
@@ -76,7 +77,7 @@ from repro.stats.replication import (
     _subset_rung,
 )
 
-__all__ = ["ProcessSweepExecutor"]
+__all__ = ["ProcessSweepExecutor", "replay_sweep", "serve_shard"]
 
 
 # ----------------------------------------------------------------------
@@ -243,132 +244,178 @@ class _ReplicateLadder:
             self._state.fold(size)
 
 
-def _worker_main(conn, payload: bytes, cfg: dict) -> None:
-    """Shard worker: obtain the owned replicates, then serve rung commands."""
-    try:
-        world = sharedmem.loads(payload)
-        graph, partition = world["graph"], world["partition"]
-        if cfg["mode"] == "predrawn":
-            if world["samples"] is not None:
-                samples = world["samples"]
-            else:
-                # Observation-seeded resume: the restored pairs carry
-                # everything the ladders need, samples were not shipped.
-                samples = [None] * len(cfg["shard"])
-            conn.send(("sampled", None, None))
-        elif cfg["samples"] is not None:
-            sampler = world["sampler"]
-            nodes, weights = cfg["samples"]
-            samples = [
-                NodeSample(
-                    nodes[i],
-                    weights[i],
-                    design=sampler.design,
-                    uniform=sampler.uniform,
-                )
-                for i in range(len(cfg["seeds"]))
-            ]
-            conn.send(("sampled", None, None))
-        elif world.get("observations") is not None:
-            # Checkpoint-restored observations carry everything the
-            # ladders need; re-walking the replicates would be wasted.
-            samples = [None] * len(cfg["shard"])
-            conn.send(("sampled", None, None))
+def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
+    """Serve one shard task: obtain the owned replicates, then answer
+    rung commands until told to stop.
+
+    The transport is injected — ``recv()`` returns the next parent
+    command tuple, ``send(*parts)`` replies — because the shard no
+    longer owns a process: it runs as one task thread of a persistent
+    pool worker (:mod:`repro.runtime.pool`), which multiplexes several
+    tasks (cells) over one connection. Exceptions propagate to the
+    caller, which reports them under this task's id.
+    """
+    world = sharedmem.loads(payload)
+    graph, partition = world["graph"], world["partition"]
+    if cfg["mode"] == "predrawn":
+        if world["samples"] is not None:
+            samples = world["samples"]
         else:
-            sampler = world["sampler"]
-            streams = [np.random.default_rng(seed) for seed in cfg["seeds"]]
-            batch = sample_streams(
-                sampler, cfg["n"], streams, engine=cfg["engine"]
+            # Observation-seeded resume: the restored pairs carry
+            # everything the ladders need, samples were not shipped.
+            samples = [None] * len(cfg["shard"])
+        send("sampled", None, None)
+    elif cfg["samples"] is not None:
+        sampler = world["sampler"]
+        nodes, weights = cfg["samples"]
+        samples = [
+            NodeSample(
+                nodes[i],
+                weights[i],
+                design=sampler.design,
+                uniform=sampler.uniform,
             )
-            samples = batch.replicates()
-            if cfg["want_samples"]:
-                conn.send(("sampled", batch.nodes, batch.weights))
-            else:
-                conn.send(("sampled", None, None))
-        restored = world.get("observations")
-        names = tuple(partition.names)
-        ladders = [
-            _ReplicateLadder(
-                graph,
-                partition,
-                sample,
-                cfg["ladder"],
-                cfg["n_pop"],
-                cfg["mean_degree_model"],
-                observations=(
-                    None
-                    if restored is None
-                    else _observations_restore(names, restored[local])
+            for i in range(len(cfg["seeds"]))
+        ]
+        send("sampled", None, None)
+    elif world.get("observations") is not None:
+        # Checkpoint-restored observations carry everything the
+        # ladders need; re-walking the replicates would be wasted.
+        samples = [None] * len(cfg["shard"])
+        send("sampled", None, None)
+    else:
+        sampler = world["sampler"]
+        streams = [np.random.default_rng(seed) for seed in cfg["seeds"]]
+        batch = sample_streams(
+            sampler, cfg["n"], streams, engine=cfg["engine"]
+        )
+        samples = batch.replicates()
+        if cfg["want_samples"]:
+            send("sampled", batch.nodes, batch.weights)
+        else:
+            send("sampled", None, None)
+    restored = world.get("observations")
+    names = tuple(partition.names)
+    ladders = [
+        _ReplicateLadder(
+            graph,
+            partition,
+            sample,
+            cfg["ladder"],
+            cfg["n_pop"],
+            cfg["mean_degree_model"],
+            observations=(
+                None
+                if restored is None
+                else _observations_restore(names, restored[local])
+            ),
+        )
+        for local, sample in enumerate(samples)
+    ]
+    if cfg["want_observations"]:
+        send(
+            "observed",
+            [_observation_fields(*ladder.observations) for ladder in ladders],
+        )
+    else:
+        send("observed", None)
+    truth_sizes = cfg["truth_sizes"]
+    plugin = cfg["weight_size_plugin"]
+    while True:
+        message = recv()
+        command = message[0]
+        if command == "stop":
+            break
+        si, size = message[1], message[2]
+        if command == "skip":
+            for ladder in ladders:
+                ladder.skip(size)
+            send("skipped", si)
+        elif command == "rung":
+            rows = [
+                _rung_rows(ladder.rung(size), plugin, truth_sizes)
+                for ladder in ladders
+            ]
+            send(
+                "rows",
+                si,
+                tuple(
+                    np.stack([r[field] for r in rows]) for field in range(4)
                 ),
             )
-            for local, sample in enumerate(samples)
-        ]
-        if cfg["want_observations"]:
-            conn.send(
-                (
-                    "observed",
-                    [
-                        _observation_fields(*ladder.observations)
-                        for ladder in ladders
-                    ],
-                )
-            )
-        else:
-            conn.send(("observed", None))
-        truth_sizes = cfg["truth_sizes"]
-        plugin = cfg["weight_size_plugin"]
-        while True:
-            message = conn.recv()
-            command = message[0]
-            if command == "stop":
-                break
-            si, size = message[1], message[2]
-            if command == "skip":
-                for ladder in ladders:
-                    ladder.skip(size)
-                conn.send(("skipped", si))
-            elif command == "rung":
-                rows = [
-                    _rung_rows(ladder.rung(size), plugin, truth_sizes)
-                    for ladder in ladders
-                ]
-                conn.send(
-                    (
-                        "rows",
-                        si,
-                        tuple(
-                            np.stack([r[field] for r in rows])
-                            for field in range(4)
-                        ),
-                    )
-                )
-            else:  # pragma: no cover - protocol misuse
-                raise RuntimeError(f"unknown executor command {command!r}")
-    except BaseException:
-        try:
-            conn.send(("error", traceback.format_exc()))
-        except (BrokenPipeError, OSError):  # pragma: no cover
-            pass
-    finally:
-        conn.close()
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown executor command {command!r}")
 
 
 # ----------------------------------------------------------------------
-# Parent side
+# Substrate-free replay of fully rung-cached sweeps
 # ----------------------------------------------------------------------
-def _default_workers() -> int:
-    return max(os.cpu_count() or 1, 1)
+def replay_sweep(cell_root: "str | os.PathLike", sweep_key: str) -> "SweepResult | None":
+    """Rebuild a fully rung-cached sweep's result straight from disk.
 
+    ``cell_root`` is a cell's sweep-checkpoint root and ``sweep_key``
+    the manifest key the plan checkpoint recorded for it
+    (:meth:`repro.runtime.checkpoint.PlanCheckpoint.record_cell`). When
+    the manifest, the persisted truth arrays, and every rung file are
+    present, the result is assembled by the same ``_reduce_stacks``
+    reduction an uninterrupted run ends with — bit-identical, because
+    every input array round-trips npz exactly. Returns ``None`` on any
+    gap; the caller then falls back to building the cell's substrate
+    and running it normally (which re-fingerprints and re-validates the
+    checkpoint the usual way).
 
-def _preferred_context():
-    import multiprocessing
-
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    This is what lets a resumed plan skip reconstructing a completed
+    cell's substrate entirely — at paper scale, a world rebuild per
+    resume. The flip side is a deliberate trust boundary: without the
+    substrate there is nothing to re-fingerprint, so the replay trusts
+    the recorded key under its matching plan manifest (experiment id,
+    cell grid, scale, seed). Drift those inputs cannot express —
+    generator *code* edited between runs — is only caught on the
+    build path; see the contract in :mod:`repro.runtime`.
+    """
+    directory = Path(cell_root) / f"sweep-{sweep_key}"
+    manifest_path = directory / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    sizes = np.asarray(manifest.get("sizes", ()), dtype=np.int64)
+    replications = int(manifest.get("replications", 0))
+    categories = manifest.get("categories")
+    if sizes.size == 0 or replications < 1 or not categories:
+        return None
+    truth = read_truth(directory, tuple(categories))
+    if truth is None:
+        return None
+    r, c = replications, len(categories)
+    size_stacks = {kind: np.full((r, len(sizes), c), np.nan) for kind in KINDS}
+    weight_stacks = {
+        kind: np.full((r, len(sizes), c, c), np.nan) for kind in KINDS
+    }
+    for si, size in enumerate(sizes):
+        rows = read_rung(directory / f"rung_{si:03d}.npz", int(size))
+        if rows is None or rows[0].shape != (r, c):
+            return None
+        ProcessSweepExecutor._fill(size_stacks, weight_stacks, si, rows)
+    return _reduce_stacks(
+        sizes,
+        size_stacks,
+        weight_stacks,
+        truth,
+        str(manifest.get("truth_mode", "exact")),
+    )
 
 
 class ProcessSweepExecutor:
     """Shared-memory multi-process sweep executor.
+
+    Sweeps run on a **persistent** worker pool
+    (:mod:`repro.runtime.pool`): by default the process-wide pool, so
+    back-to-back sweeps — the cells of one plan, or repeated
+    ``repro run --workers N`` sweeps in a session — reuse live workers
+    instead of paying spawn cost per sweep. The DAG plan scheduler
+    passes an explicit ``pool`` and runs several cells' shard tasks on
+    it concurrently.
 
     Parameters
     ----------
@@ -387,7 +434,19 @@ class ProcessSweepExecutor:
     mp_context:
         A ``multiprocessing`` context; defaults to ``fork`` where
         available (workers then inherit the parent's imports) and
-        ``spawn`` elsewhere.
+        ``spawn`` elsewhere. Selects which default pool serves the
+        sweep when no explicit ``pool`` is given.
+    pool:
+        A :class:`~repro.runtime.pool.PersistentWorkerPool` to run on;
+        ``None`` uses the process-wide default pool for ``mp_context``.
+
+    Attributes
+    ----------
+    last_checkpoint:
+        The :class:`~repro.runtime.checkpoint.SweepCheckpoint` opened
+        by the most recent run on this instance (``None`` without a
+        checkpoint root). The plan scheduler reads its manifest key to
+        record completed cells for substrate-free resume.
     """
 
     name = "process"
@@ -398,13 +457,16 @@ class ProcessSweepExecutor:
         checkpoint: "str | os.PathLike | None" = None,
         resume: bool = False,
         mp_context=None,
+        pool=None,
     ):
         if workers is not None and workers < 1:
             raise EstimationError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers) if workers is not None else _default_workers()
+        self.workers = int(workers) if workers is not None else default_workers()
         self.checkpoint_root = None if checkpoint is None else Path(checkpoint)
         self.resume = bool(resume)
         self._mp_context = mp_context
+        self._pool = pool
+        self.last_checkpoint = None
 
     # ------------------------------------------------------------------
     def run(
@@ -451,6 +513,9 @@ class ProcessSweepExecutor:
             graph, partition, sampler, sizes, replications, seeds,
             engine, ladder, weight_size_plugin, mean_degree_model,
         )
+        self.last_checkpoint = checkpoint
+        if checkpoint is not None:
+            checkpoint.save_truth(truth)
         cached_rungs = self._load_cached_rungs(checkpoint, sizes)
         fully_cached = len(cached_rungs) == len(sizes)
         # Resume restores the cheapest sufficient state: a
@@ -562,6 +627,9 @@ class ProcessSweepExecutor:
             graph, partition, samples, sizes,
             ladder, weight_size_plugin, mean_degree_model, truth_mode,
         )
+        self.last_checkpoint = checkpoint
+        if checkpoint is not None:
+            checkpoint.save_truth(truth)
         cached_rungs = self._load_cached_rungs(checkpoint, sizes)
         observations = (
             checkpoint.load_observations(replications)
@@ -638,8 +706,14 @@ class ProcessSweepExecutor:
 
         num_workers = min(self.workers, replications)
         shards = np.array_split(np.arange(replications), num_workers)
-        ctx = self._mp_context or _preferred_context()
         want_observations = checkpoint is not None and observations is None
+        worker_pool = self._pool or default_pool(self._mp_context)
+        handles = worker_pool.lease(num_workers)
+        if len(handles) != num_workers:  # pragma: no cover - lease contract
+            raise EstimationError(
+                f"worker pool leased {len(handles)} workers for "
+                f"{num_workers} shards"
+            )
 
         # Inside a plan run the ambient pool already holds the plan's
         # named resources (pre-published once per build by run_plan), so
@@ -649,19 +723,20 @@ class ProcessSweepExecutor:
         # cross the process boundary once for the whole plan. Everything
         # else (cell-local graphs and samplers, checkpoint-restored
         # observations) publishes through a run-local pool whose blocks
-        # are unlinked as soon as this run's workers have exited, so
-        # plan-wide shared-memory footprint stays at the resources plus
-        # one cell's worth.
+        # are unlinked — and *retired* from the persistent workers — as
+        # soon as this run's tasks have closed, so plan-wide
+        # shared-memory footprint stays at the resources plus the cells
+        # currently in flight.
         ambient = sharedmem.active_pool()
         with sharedmem.SharedArrayPool() as local_pool:
-            pool = (
+            publish_pool = (
                 sharedmem.PoolChain(ambient, local_pool)
                 if ambient is not None
                 else local_pool
             )
-            connections, processes = [], []
+            tasks = []
             try:
-                for shard in shards:
+                for shard, handle in zip(shards, handles):
                     # One payload per shard, sliced to what that worker
                     # reads; large arrays still publish exactly once
                     # (the pool deduplicates by identity across shards,
@@ -677,7 +752,7 @@ class ProcessSweepExecutor:
                             ),
                             **make_payload(shard),
                         },
-                        pool,
+                        publish_pool,
                     )
                     cfg = {
                         "n_pop": graph.num_nodes,
@@ -688,37 +763,23 @@ class ProcessSweepExecutor:
                         "want_observations": want_observations,
                         **make_cfg(shard),
                     }
-                    parent_conn, child_conn = ctx.Pipe()
-                    process = ctx.Process(
-                        target=_worker_main,
-                        args=(child_conn, payload, cfg),
-                        daemon=True,
-                    )
-                    process.start()
-                    child_conn.close()
-                    connections.append(parent_conn)
-                    processes.append(process)
+                    tasks.append(worker_pool.open_task(handle, payload, cfg))
 
-                self._gather_samples(
-                    connections, processes, checkpoint, persist_samples
-                )
-                self._gather_observations(
-                    connections, processes, checkpoint, want_observations
-                )
+                self._gather_samples(tasks, checkpoint, persist_samples)
+                self._gather_observations(tasks, checkpoint, want_observations)
                 for si, size in enumerate(sizes):
                     size = int(size)
                     cached = cached_rungs.get(si)
                     if cached is not None:
-                        self._broadcast(connections, ("skip", si, size))
-                        for conn, process in zip(connections, processes):
-                            self._receive(conn, process, "skipped", si)
+                        for task in tasks:
+                            task.send("skip", si, size)
+                        for task in tasks:
+                            task.recv("skipped", si)
                         self._fill(size_stacks, weight_stacks, si, cached)
                     else:
-                        self._broadcast(connections, ("rung", si, size))
-                        rows = [
-                            self._receive(conn, process, "rows", si)
-                            for conn, process in zip(connections, processes)
-                        ]
+                        for task in tasks:
+                            task.send("rung", si, size)
+                        rows = [task.recv("rows", si) for task in tasks]
                         merged = tuple(
                             np.concatenate([shard_rows[f] for shard_rows in rows])
                             for f in range(4)
@@ -726,15 +787,13 @@ class ProcessSweepExecutor:
                         self._fill(size_stacks, weight_stacks, si, merged)
                         if checkpoint is not None:
                             checkpoint.save_rung(si, size, merged)
-                self._broadcast(connections, ("stop",))
             finally:
-                for conn in connections:
-                    conn.close()
-                for process in processes:
-                    process.join(timeout=30)
-                    if process.is_alive():  # pragma: no cover - stuck worker
-                        process.terminate()
-                        process.join()
+                for task in tasks:
+                    task.close()
+                # Closing is ordered before retirement on each worker's
+                # connection, so by the time a worker releases these
+                # blocks its tasks (and their array views) are gone.
+                worker_pool.retire(handles, local_pool.block_names)
 
         return _reduce_stacks(
             sizes, size_stacks, weight_stacks, truth, truth_mode
@@ -808,58 +867,19 @@ class ProcessSweepExecutor:
         }
         return SweepCheckpoint(self.checkpoint_root, manifest, self.resume)
 
-    def _gather_samples(
-        self, connections, processes, checkpoint, persist: bool
-    ) -> None:
-        collected = []
-        for conn, process in zip(connections, processes):
-            message = self._receive(conn, process, "sampled")
-            collected.append(message)
+    def _gather_samples(self, tasks, checkpoint, persist: bool) -> None:
+        collected = [task.recv("sampled") for task in tasks]
         if persist and checkpoint is not None:
             nodes = np.concatenate([part[0] for part in collected])
             weights = np.concatenate([part[1] for part in collected])
             checkpoint.save_samples(nodes, weights)
 
-    def _gather_observations(
-        self, connections, processes, checkpoint, persist: bool
-    ) -> None:
-        collected = []
-        for conn, process in zip(connections, processes):
-            collected.append(self._receive(conn, process, "observed"))
+    def _gather_observations(self, tasks, checkpoint, persist: bool) -> None:
+        collected = [task.recv("observed") for task in tasks]
         if persist and checkpoint is not None:
             checkpoint.save_observations(
                 [fields for shard in collected for fields in shard]
             )
-
-    @staticmethod
-    def _broadcast(connections, message) -> None:
-        for conn in connections:
-            conn.send(message)
-
-    @staticmethod
-    def _receive(conn, process, expected: str, rung_index: int | None = None):
-        try:
-            message = conn.recv()
-        except EOFError:
-            raise EstimationError(
-                "sweep worker exited unexpectedly "
-                f"(exitcode {process.exitcode})"
-            ) from None
-        if message[0] == "error":
-            raise EstimationError(f"sweep worker failed:\n{message[1]}")
-        if message[0] != expected or (
-            rung_index is not None and message[1] != rung_index
-        ):  # pragma: no cover - protocol misuse
-            raise EstimationError(
-                f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
-            )
-        if expected == "sampled":
-            return message[1:]
-        if expected == "rows":
-            return message[2]
-        if expected == "observed":
-            return message[1]
-        return None
 
     @staticmethod
     def _fill(size_stacks, weight_stacks, si, rows) -> None:

@@ -1,16 +1,29 @@
 """Execute compiled experiment plans on the parallel sweep runtime.
 
 :func:`run_plan` is the single execution path behind every experiment
-driver and the ``repro experiment`` CLI: it walks the cells of a
-:class:`~repro.experiments.plan.SweepPlan` in order, routing each
+driver and the ``repro experiment`` CLI. It routes each
 :class:`~repro.experiments.plan.SweepCell` through
 :func:`repro.stats.replication.run_nrmse_sweep` (fresh draws) or
 :func:`~repro.stats.replication.run_nrmse_sweep_from_samples`
 (pre-drawn crawls) — and therefore through whatever executor the
-ambient runtime configuration selects — and running
+ambient runtime configuration selects — and runs
 :class:`~repro.experiments.plan.ComputeCell` steps in-process.
 
-Three runtime services wrap the cell loop:
+Two schedules execute the same plan, byte-for-byte equivalently:
+
+* the **DAG scheduler** (:mod:`repro.runtime.scheduler`, the default
+  for parallel plans): resources build concurrently ahead of the cell
+  frontier, ready cells overlap on one persistent worker pool, and a
+  resumed plan replays recorded fully-cached cells without rebuilding
+  their substrates;
+* the **serial cell loop** (in this module): one cell at a time, in
+  plan order — the reference twin the DAG schedule is golden-pinned
+  against, and the only schedule for serial executors (no worker pool
+  to overlap cells on). Select with ``scheduler="serial"``,
+  ``runtime_options(plan_scheduler=...)``, ``REPRO_PLAN_SCHEDULER``,
+  or ``repro experiment <name> --scheduler serial``.
+
+Three runtime services wrap both schedules:
 
 * **One shared-memory pool per plan run**
   (:func:`repro.runtime.sharedmem.shared_pool`): executors publish
@@ -30,7 +43,8 @@ Three runtime services wrap the cell loop:
   and each sweep inherits the executor's bit-identical-for-any-worker-
   count contract, so a plan's finalized
   :class:`~repro.experiments.base.ExperimentResult` outputs are
-  identical for serial, 1-worker, and N-worker runs alike.
+  identical for serial, 1-worker, and N-worker runs alike — under
+  either schedule.
 """
 
 from __future__ import annotations
@@ -40,7 +54,11 @@ from contextlib import nullcontext
 
 from repro.runtime import sharedmem
 from repro.runtime.checkpoint import PlanCheckpoint
-from repro.runtime.config import active_options, resolve_executor
+from repro.runtime.config import (
+    active_options,
+    resolve_executor,
+    resolve_plan_scheduler,
+)
 
 __all__ = ["run_plan"]
 
@@ -52,6 +70,7 @@ def run_plan(
     workers: int | None = None,
     checkpoint: "str | os.PathLike | None" = None,
     resume: bool | None = None,
+    scheduler: "str | None" = None,
 ):
     """Run every cell of ``plan`` and return its finalized results.
 
@@ -70,6 +89,13 @@ def run_plan(
         ``checkpoint`` names the user-facing checkpoint *root*; the
         plan creates a plan-keyed directory under it with one
         sweep-checkpoint subdirectory per cell.
+    scheduler:
+        ``"dag"`` (overlap independent cells on the persistent worker
+        pool) or ``"serial"`` (the one-cell-at-a-time reference loop).
+        ``None`` defers to the ambient configuration
+        (``REPRO_PLAN_SCHEDULER``), then ``"dag"``. Output is
+        bit-identical either way; serial executors always use the
+        loop.
 
     Returns
     -------
@@ -107,15 +133,17 @@ def run_plan(
     # their cells ignore checkpoint roots entirely and a fresh-mode
     # clear would destroy a prior parallel run's files while writing
     # nothing.
-    parallel = bool(plan.sweep_cells) and (
+    probe = (
         resolve_executor(
             executor,
             workers,
             checkpoint_root,
             resume_flag if checkpoint_root is not None else resume,
         )
-        is not None
+        if plan.sweep_cells
+        else None
     )
+    parallel = probe is not None
     plan_checkpoint = (
         PlanCheckpoint(
             checkpoint_root,
@@ -140,24 +168,47 @@ def run_plan(
             for name, factory in plan.resources.items()
         }
     )
+
+    if parallel and resolve_plan_scheduler(scheduler) == "dag":
+        from repro.runtime.scheduler import run_plan_dag
+
+        outputs = run_plan_dag(
+            plan,
+            resources,
+            workers=probe.workers,
+            plan_checkpoint=plan_checkpoint,
+            resume=resume_flag if plan_checkpoint is not None else False,
+        )
+        return plan.finalize_outputs(outputs, resources)
+
+    # The serial reference loop: one cell at a time, in plan order.
     outputs: dict[str, object] = {}
-    with sharedmem.shared_pool() if parallel else nullcontext():
-        for cell in plan.cells:
-            if isinstance(cell, SweepCell):
-                outputs[cell.key] = _run_sweep_cell(
-                    cell,
-                    resources,
-                    executor=executor,
-                    workers=workers,
-                    checkpoint=(
-                        plan_checkpoint.cell_root(cell.key)
-                        if plan_checkpoint is not None
-                        else None
-                    ),
-                    resume=resume_flag if plan_checkpoint is not None else resume,
-                )
-            else:
-                outputs[cell.key] = cell.compute(resources)
+    with sharedmem.shared_pool() if parallel else nullcontext() as ambient_pool:
+        try:
+            for cell in plan.cells:
+                if isinstance(cell, SweepCell):
+                    outputs[cell.key] = _run_sweep_cell(
+                        cell,
+                        resources,
+                        executor=executor,
+                        workers=workers,
+                        checkpoint=(
+                            plan_checkpoint.cell_root(cell.key)
+                            if plan_checkpoint is not None
+                            else None
+                        ),
+                        resume=resume_flag if plan_checkpoint is not None else resume,
+                    )
+                else:
+                    outputs[cell.key] = cell.compute(resources)
+        finally:
+            if ambient_pool is not None:
+                # The cells' persistent workers outlive this plan; drop
+                # their attachments to the plan's resource blocks before
+                # the pool unlinks them (mirrors the DAG scheduler).
+                from repro.runtime.pool import default_pool
+
+                default_pool().retire_all(ambient_pool.block_names)
     return plan.finalize_outputs(outputs, resources)
 
 

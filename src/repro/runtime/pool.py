@@ -1,0 +1,458 @@
+"""Persistent, task-multiplexed sweep worker pool.
+
+Before the DAG plan scheduler, every sweep spun up its own worker
+processes and tore them down when its ladder drained: a plan with
+twelve cells paid twelve pool spin-ups, and no two cells could ever
+share a core. This module keeps **one** set of worker processes alive
+— across the cells of a plan, and across back-to-back ``repro run``
+sweeps in one process — and multiplexes *tasks* onto them. A task is
+one shard of one sweep (a contiguous replicate block); each worker
+runs its tasks in their own threads, so cell ``k+1``'s sampling phase
+overlaps cell ``k``'s ladder drain on the same worker, and the parent
+drives every task independently through a :class:`TaskChannel`.
+
+Wire protocol (parent -> worker)::
+
+    ("open",  task_id, payload, cfg)   start a shard task
+    ("rung",  task_id, si, size)       compute rung si
+    ("skip",  task_id, si, size)       fold past a checkpointed rung
+    ("close", task_id)                 task finished; join + forget it
+    ("retire", block_names)            drop shared-memory attachments
+    ("shutdown",)                      exit the worker process
+
+Worker -> parent messages are the executor's shard replies prefixed
+with their task id (``(task_id, "sampled", ...)``, ``(task_id,
+"rows", si, rows)``, ``(task_id, "error", traceback)``, ...); a
+dedicated parent-side reader thread per worker routes them to the
+right task's queue, which also guarantees the pipe always drains — a
+worker can never deadlock sending rows for a task the parent has
+abandoned.
+
+Determinism is untouched by any of this: a task computes the same
+per-replicate rows wherever and whenever it runs, the parent places
+them by absolute replicate index, and each sweep's reduction stays the
+serial code path. The pool only changes *when* work happens, never
+*what* is computed.
+
+Lifecycle: :func:`default_pool` hands out one process-wide pool per
+multiprocessing start method, grown on demand and shut down at
+interpreter exit (workers are daemonic besides). Tests that rely on
+``fork`` workers inheriting freshly monkeypatched parent state call
+:func:`reset_default_pools` to force the next sweep onto new workers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue
+import threading
+import traceback
+
+from repro.exceptions import EstimationError
+from repro.runtime import sharedmem
+
+__all__ = [
+    "PersistentWorkerPool",
+    "TaskChannel",
+    "default_pool",
+    "reset_default_pools",
+]
+
+
+def default_workers() -> int:
+    """The default shard count: one per available core."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def preferred_context():
+    """``fork`` where available (workers inherit imports), else spawn."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _task_main(task_id, payload, cfg, commands, reply) -> None:
+    """One shard task inside a worker: serve it, report errors by id."""
+    try:
+        from repro.runtime.executor import serve_shard
+
+        serve_shard(
+            payload,
+            cfg,
+            commands.get,
+            lambda *parts: reply(task_id, *parts),
+        )
+    except BaseException:
+        try:
+            reply(task_id, "error", traceback.format_exc())
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+
+
+def _pool_worker_main(conn) -> None:
+    """Worker process: dispatch messages to per-task threads."""
+    send_lock = threading.Lock()
+
+    def reply(task_id, *parts):
+        with send_lock:
+            conn.send((task_id,) + parts)
+
+    tasks: dict[int, tuple[threading.Thread, queue.SimpleQueue]] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "retire":
+                sharedmem.release(message[1])
+                continue
+            task_id = message[1]
+            if kind == "open":
+                commands: queue.SimpleQueue = queue.SimpleQueue()
+                thread = threading.Thread(
+                    target=_task_main,
+                    args=(task_id, message[2], message[3], commands, reply),
+                    daemon=True,
+                )
+                tasks[task_id] = (thread, commands)
+                thread.start()
+            elif kind == "close":
+                entry = tasks.pop(task_id, None)
+                if entry is not None:
+                    entry[1].put(("stop",))
+                    # Joining here orders the task's teardown before any
+                    # later retire of its blocks on this connection —
+                    # but bounded: a wedged task must not stop this
+                    # worker from serving every other cell (the daemon
+                    # thread is abandoned; a later retire of its blocks
+                    # then simply finds them still referenced and keeps
+                    # them pinned instead of crashing).
+                    entry[0].join(timeout=30)
+            else:  # "rung" | "skip"
+                tasks[task_id][1].put((kind, message[2], message[3]))
+    finally:
+        for _, commands in tasks.values():
+            commands.put(("stop",))
+        for thread, _ in tasks.values():
+            thread.join(timeout=5)
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+#: Sentinel routed to every open task queue when its worker dies.
+_DEAD = ("__worker_dead__",)
+
+
+class _WorkerHandle:
+    """Parent-side view of one pool worker (process, pipe, reader)."""
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self._send_lock = threading.Lock()
+        self._tasks_lock = threading.Lock()
+        self._task_queues: dict[int, queue.SimpleQueue] = {}
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._tasks_lock:
+                task_queue = self._task_queues.get(message[0])
+            if task_queue is not None:
+                task_queue.put(message[1:])
+            # Replies for closed tasks are dropped: an abandoned shard
+            # may legitimately finish sending after an error elsewhere.
+        self.alive = False
+        with self._tasks_lock:
+            queues = list(self._task_queues.values())
+        for task_queue in queues:
+            task_queue.put(_DEAD)
+
+    def send(self, message) -> None:
+        with self._send_lock:
+            try:
+                self.conn.send(message)
+            except (BrokenPipeError, OSError):
+                self.alive = False
+                raise EstimationError(
+                    "sweep worker exited unexpectedly "
+                    f"(exitcode {self.process.exitcode})"
+                ) from None
+
+    def register(self, task_id: int) -> queue.SimpleQueue:
+        task_queue: queue.SimpleQueue = queue.SimpleQueue()
+        with self._tasks_lock:
+            if not self.alive:
+                raise EstimationError(
+                    "sweep worker exited unexpectedly "
+                    f"(exitcode {self.process.exitcode})"
+                )
+            self._task_queues[task_id] = task_queue
+        return task_queue
+
+    def unregister(self, task_id: int) -> None:
+        with self._tasks_lock:
+            self._task_queues.pop(task_id, None)
+
+
+class TaskChannel:
+    """Parent-side handle of one shard task running on a pool worker.
+
+    ``send``/``recv`` mirror the old one-pipe-per-worker protocol of
+    the per-sweep executor, so the rung-loop driver code is unchanged;
+    the channel just adds the task id on the way out and strips it on
+    the way back.
+    """
+
+    def __init__(self, handle: _WorkerHandle, task_id: int):
+        self._handle = handle
+        self.task_id = task_id
+        self._queue = handle.register(task_id)
+        self._closed = False
+
+    @property
+    def process(self):
+        """The worker process serving this task (for exit codes)."""
+        return self._handle.process
+
+    def send(self, kind: str, *parts) -> None:
+        self._handle.send((kind, self.task_id) + parts)
+
+    def recv(self, expected: str, rung_index: "int | None" = None):
+        message = self._queue.get()
+        if message is _DEAD:
+            raise EstimationError(
+                "sweep worker exited unexpectedly "
+                f"(exitcode {self._handle.process.exitcode})"
+            )
+        if message[0] == "error":
+            raise EstimationError(f"sweep worker failed:\n{message[1]}")
+        if message[0] != expected or (
+            rung_index is not None and message[1] != rung_index
+        ):  # pragma: no cover - protocol misuse
+            raise EstimationError(
+                f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
+            )
+        if expected == "sampled":
+            return message[1:]
+        if expected == "rows":
+            return message[2]
+        if expected == "observed":
+            return message[1]
+        return None
+
+    def close(self) -> None:
+        """Tell the worker the task is finished; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.unregister(self.task_id)
+        if self._handle.alive:
+            try:
+                self.send("close")
+            except EstimationError:  # pragma: no cover - died under us
+                pass
+
+
+class PersistentWorkerPool:
+    """A lazily-grown pool of persistent sweep workers.
+
+    Thread-safe: under the DAG plan scheduler several cell driver
+    threads open tasks concurrently, interleaving their shards on the
+    same workers. Workers are daemonic; :meth:`shutdown` (or interpreter
+    exit) retires them.
+    """
+
+    def __init__(self, mp_context=None):
+        self._ctx = mp_context or preferred_context()
+        self._handles: list[_WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._next_task_id = 0
+
+    @property
+    def start_method(self) -> str:
+        return self._ctx.get_start_method()
+
+    @property
+    def size(self) -> int:
+        """Live worker count."""
+        with self._lock:
+            return sum(1 for handle in self._handles if handle.alive)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live workers (stable across sweeps — the point)."""
+        with self._lock:
+            return tuple(
+                handle.process.pid for handle in self._handles if handle.alive
+            )
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    def _grow_locked(self, workers: int) -> None:
+        """Prune dead workers and spawn up to ``workers`` (lock held)."""
+        self._handles = [h for h in self._handles if h.alive]
+        if len(self._handles) < workers:
+            # Start the parent's shared-memory resource tracker
+            # *before* forking: on Python < 3.13 a worker's block
+            # attach registers with whatever tracker it inherited,
+            # and a worker that pre-dates the parent's tracker would
+            # spawn its own — which then never sees the parent's
+            # unlink-time unregister and warns about (already
+            # unlinked) "leaked" blocks at shutdown.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        while len(self._handles) < workers:
+            self._handles.append(self._spawn())
+
+    def ensure(self, workers: int) -> None:
+        """Grow the pool to at least ``workers`` live workers.
+
+        The DAG scheduler calls this once before launching its cell
+        driver threads, so pool growth (a ``fork``) never races them.
+        """
+        with self._lock:
+            self._grow_locked(workers)
+
+    def lease(self, workers: int) -> "list[_WorkerHandle]":
+        """``workers`` live workers (a shared prefix), spawning as needed.
+
+        Concurrent sweeps lease overlapping prefixes of the same worker
+        list — sharing, not partitioning, is what lets a later cell's
+        sampling fill the gaps in an earlier cell's ladder drain.
+        Growing and slicing happen under one lock acquisition, so a
+        concurrent lease pruning a just-died worker can never shrink
+        this caller's slice below ``workers`` (a shard must never be
+        silently dropped).
+        """
+        with self._lock:
+            self._grow_locked(workers)
+            return list(self._handles[:workers])
+
+    def open_task(self, handle: _WorkerHandle, payload: bytes, cfg: dict) -> TaskChannel:
+        """Start a shard task on ``handle`` and return its channel."""
+        with self._lock:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+        channel = TaskChannel(handle, task_id)
+        try:
+            handle.send(("open", task_id, payload, cfg))
+        except EstimationError:
+            handle.unregister(task_id)
+            raise
+        return channel
+
+    def retire(self, handles, block_names) -> None:
+        """Ask workers to drop their attachments to finished blocks."""
+        if not block_names:
+            return
+        names = tuple(block_names)
+        for handle in handles:
+            if handle.alive:
+                try:
+                    handle.send(("retire", names))
+                except EstimationError:  # pragma: no cover - dying worker
+                    pass
+
+    def retire_all(self, block_names) -> None:
+        """Retire blocks on every live worker.
+
+        The plan runners call this for the *ambient* plan-resource
+        blocks when a plan finishes: per-cell runs retire their own
+        local blocks, but the shared resources outlive every cell and
+        would otherwise stay mapped in the persistent workers for the
+        process lifetime — one world copy leaked per plan run.
+        """
+        with self._lock:
+            handles = list(self._handles)
+        self.retire(handles, block_names)
+
+    def shutdown(self) -> None:
+        """Stop every worker and forget them (the pool stays usable)."""
+        with self._lock:
+            handles, self._handles = self._handles, []
+        for handle in handles:
+            if handle.alive:
+                try:
+                    handle.send(("shutdown",))
+                except EstimationError:
+                    pass
+        for handle in handles:
+            handle.process.join(timeout=30)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join()
+            handle.conn.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The process-wide default pools (one per start method)
+# ----------------------------------------------------------------------
+_DEFAULT_POOLS: dict[str, PersistentWorkerPool] = {}
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_pool(mp_context=None) -> PersistentWorkerPool:
+    """The process-wide pool for ``mp_context``'s start method.
+
+    This is what lets back-to-back sweeps — the cells of one plan, or
+    repeated ``run_nrmse_sweep(executor="process")`` calls in one
+    session — reuse live workers instead of paying spawn cost per
+    sweep.
+    """
+    ctx = mp_context or preferred_context()
+    key = ctx.get_start_method()
+    with _DEFAULT_LOCK:
+        pool = _DEFAULT_POOLS.get(key)
+        if pool is None:
+            pool = _DEFAULT_POOLS[key] = PersistentWorkerPool(ctx)
+        return pool
+
+
+def reset_default_pools() -> None:
+    """Shut down every default pool (fresh workers on next use).
+
+    Tests use this after monkeypatching modules that ``fork`` workers
+    must inherit; it also runs at interpreter exit.
+    """
+    with _DEFAULT_LOCK:
+        pools = list(_DEFAULT_POOLS.values())
+        _DEFAULT_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(reset_default_pools)

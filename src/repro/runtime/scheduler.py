@@ -1,0 +1,273 @@
+"""Dependency-aware DAG execution of compiled experiment plans.
+
+A compiled :class:`~repro.experiments.plan.SweepPlan` is a dependency
+graph, not a list: resource builds feed the cells that declared them
+(``needs=``), cells feed the finalize step, and nothing else orders
+them — every cell derives its RNG streams by fixed integer keys, so
+cell *order* can never touch an output. The serial loop in
+:mod:`repro.runtime.plan` nevertheless ran one cell at a time, each
+cell spinning up and tearing down its own worker processes while every
+other cell waited. This module closes that scheduling slack:
+
+* **One persistent worker pool for the whole plan**
+  (:mod:`repro.runtime.pool`): workers spawn once, before the first
+  cell, and serve every cell's shard tasks. No per-cell spin-up, and —
+  because a pool worker runs its tasks in separate threads — cell
+  ``k+1``'s sampling phase overlaps cell ``k``'s ladder drain on the
+  same workers.
+* **Resources build ahead of the cell frontier**: every resource some
+  pending cell (or the finalize step) declared starts building
+  immediately, concurrently — fig4's four dataset stand-ins no longer
+  build serially in the parent before any sweep starts.
+* **Ready cells overlap**: up to ``REPRO_PLAN_INFLIGHT`` cells
+  (default 2 — enough to hide phase transitions without multiplying
+  peak memory) run concurrently, each driven by its own parent thread
+  through the shared pool.
+* **Substrate-free resume**: a resumed plan first replays every cell
+  whose sweep manifest key was recorded in the plan checkpoint
+  (:meth:`~repro.runtime.checkpoint.PlanCheckpoint.record_cell`) and
+  whose rung files are complete — via
+  :func:`~repro.runtime.executor.replay_sweep`, touching neither the
+  cell's ``build`` nor the resources only it needed. At paper scale
+  that is a world rebuild saved per resume.
+
+Determinism is inherited, not re-proven: rows are keyed by
+(cell, absolute replicate), each cell's reduction is the serial code
+path, and no floating-point value ever depends on which worker or in
+what order anything ran — so DAG output is **bit-identical** to the
+serial cell loop for any worker count and any interleaving
+(``tests/runtime/test_scheduler.py`` pins fig4 and fig6 at 1/2/3
+workers, plus mid-plan kill/resume).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.exceptions import EstimationError
+from repro.runtime import sharedmem
+from repro.runtime.executor import ProcessSweepExecutor, replay_sweep
+from repro.runtime.pool import default_pool
+
+__all__ = ["run_plan_dag"]
+
+#: Default bound on concurrently running cells. Two is the sweet spot
+#: for pipelining: the next cell samples while the previous drains its
+#: ladder, without holding many substrates in memory at once.
+DEFAULT_INFLIGHT = 2
+
+
+def _inflight_limit() -> int:
+    raw = os.environ.get("REPRO_PLAN_INFLIGHT", "").strip()
+    if not raw:
+        return DEFAULT_INFLIGHT
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EstimationError(
+            f"REPRO_PLAN_INFLIGHT must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise EstimationError(
+            f"REPRO_PLAN_INFLIGHT must be >= 1, got {value}"
+        )
+    return value
+
+
+def run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
+    """Execute ``plan``'s cells as a DAG on the persistent worker pool.
+
+    Parameters
+    ----------
+    plan / resources:
+        The compiled plan and its (thread-safe) resource view, exactly
+        as ``run_plan`` assembled them — including the publish-on-build
+        wrapping that feeds the ambient shared-memory pool.
+    workers:
+        Resolved worker count for the sweep executor (the caller has
+        already merged explicit, ambient, and default layers).
+    plan_checkpoint / resume:
+        The open :class:`~repro.runtime.checkpoint.PlanCheckpoint` (or
+        ``None``) and whether this run resumes it.
+
+    Returns
+    -------
+    dict
+        Cell outputs keyed by cell key, in plan order — the caller
+        applies ``finalize``.
+    """
+    from repro.experiments.plan import SweepCell
+
+    inflight = _inflight_limit()
+    outputs: dict[str, object] = {}
+
+    # Phase 0 — substrate-free replay of recorded, fully-cached cells.
+    if plan_checkpoint is not None and resume:
+        recorded = plan_checkpoint.recorded_cells()
+        for cell in plan.sweep_cells:
+            sweep_key = recorded.get(cell.key)
+            if sweep_key is None:
+                continue
+            result = replay_sweep(
+                plan_checkpoint.cell_root(cell.key), sweep_key
+            )
+            if result is not None:
+                outputs[cell.key] = result
+
+    pending = [cell for cell in plan.cells if cell.key not in outputs]
+    sweeps_pending = any(isinstance(cell, SweepCell) for cell in pending)
+
+    # Only resources someone still needs get built: the declared needs
+    # of the cells that were not replayed, plus whatever finalize
+    # declared. (Undeclared access remains correct — PlanResources
+    # builds lazily under its own lock — it just cannot be prefetched.)
+    demanded = sorted(
+        {name for cell in pending for name in cell.needs}
+        | set(plan.finalize_needs)
+    )
+
+    pool = None
+    if sweeps_pending:
+        pool = default_pool()
+        # Grow the pool before any driver thread exists: forking with
+        # the plan's threads already running is where fork-vs-threads
+        # hazards live, so we don't.
+        pool.ensure(max(int(workers), 1))
+
+    # Sized so every resource prefetch and every in-flight cell gets a
+    # thread at once — a cell must never wait behind the very resource
+    # build it is blocked on.
+    max_threads = max(len(demanded) + min(inflight, max(len(pending), 1)), 1)
+    ambient = sharedmem.shared_pool() if sweeps_pending else None
+    ambient_pool = None
+    try:
+        if ambient is not None:
+            ambient_pool = ambient.__enter__()
+        with ThreadPoolExecutor(
+            max_workers=max_threads, thread_name_prefix="repro-plan"
+        ) as threads:
+            resource_futures = {
+                name: threads.submit(resources.__getitem__, name)
+                for name in demanded
+            }
+
+            def ready(cell) -> bool:
+                for name in cell.needs:
+                    future = resource_futures.get(name)
+                    if future is None:
+                        continue
+                    if not future.done():
+                        return False
+                    future.result()  # re-raise a failed resource build
+                return True
+
+            waiting = list(pending)
+            running: dict = {}
+            try:
+                while waiting or running:
+                    for cell in list(waiting):
+                        if len(running) >= inflight:
+                            break
+                        if ready(cell):
+                            waiting.remove(cell)
+                            running[
+                                threads.submit(
+                                    _run_cell,
+                                    cell,
+                                    resources,
+                                    workers=workers,
+                                    plan_checkpoint=plan_checkpoint,
+                                    resume=resume,
+                                    pool=pool,
+                                )
+                            ] = cell
+                    blockers = list(running) + [
+                        future
+                        for future in resource_futures.values()
+                        if not future.done()
+                    ]
+                    if not blockers:
+                        continue  # frontier advanced purely by ready()
+                    done, _ = wait(blockers, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        cell = running.pop(future, None)
+                        if cell is not None:
+                            outputs[cell.key] = future.result()
+                        else:
+                            future.result()
+            except BaseException:
+                # First failure wins; in-flight cells run to completion
+                # (their checkpoints stay valid for --resume), queued
+                # work is dropped.
+                for future in running:
+                    future.cancel()
+                for future in resource_futures.values():
+                    future.cancel()
+                raise
+    finally:
+        if ambient is not None:
+            # Every cell's tasks are closed by now: retire the plan's
+            # resource blocks from the persistent workers before the
+            # parent unlinks them, or each worker would pin one dead
+            # copy of the plan substrate per plan run.
+            if pool is not None and ambient_pool is not None:
+                pool.retire_all(ambient_pool.block_names)
+            ambient.__exit__(None, None, None)
+
+    return {cell.key: outputs[cell.key] for cell in plan.cells}
+
+
+def _run_cell(cell, resources, *, workers, plan_checkpoint, resume, pool):
+    """Run one ready cell in a driver thread (sweep or compute)."""
+    from repro.experiments.plan import SweepCell
+
+    if not isinstance(cell, SweepCell):
+        return cell.compute(resources)
+    from repro.stats.replication import (
+        run_nrmse_sweep,
+        run_nrmse_sweep_from_samples,
+    )
+
+    # A fresh executor instance per cell: the instance form is what
+    # carries a per-cell checkpoint root plus the shared pool, while
+    # the resolved worker count stays uniform across the plan.
+    executor = ProcessSweepExecutor(
+        workers=workers,
+        checkpoint=(
+            plan_checkpoint.cell_root(cell.key)
+            if plan_checkpoint is not None
+            else None
+        ),
+        resume=bool(resume) if plan_checkpoint is not None else False,
+        pool=pool,
+    )
+    job = cell.build(resources)
+    if job.mode == "fresh":
+        result = run_nrmse_sweep(
+            job.graph,
+            job.partition,
+            job.sampler,
+            job.sizes,
+            replications=job.replications,
+            rng=job.rng,
+            weight_size_plugin=job.weight_size_plugin,
+            mean_degree_model=job.mean_degree_model,
+            executor=executor,
+        )
+    else:
+        result = run_nrmse_sweep_from_samples(
+            job.graph,
+            job.partition,
+            job.samples,
+            job.sizes,
+            weight_size_plugin=job.weight_size_plugin,
+            mean_degree_model=job.mean_degree_model,
+            truth_mode=job.truth_mode,
+            executor=executor,
+        )
+    if plan_checkpoint is not None and executor.last_checkpoint is not None:
+        # Recorded only now — after every rung landed — so a recorded
+        # key always names a complete, replayable sweep directory.
+        plan_checkpoint.record_cell(cell.key, executor.last_checkpoint.key)
+    return result

@@ -20,12 +20,21 @@ sampler designs get the treatment without registering anything.
 Lifecycle: the parent owns the blocks — keep the
 :class:`SharedArrayPool` alive until every worker has exited, then
 :meth:`SharedArrayPool.close` unlinks them. Workers attach untracked
-(they never own a block) and drop their handles at process exit.
+(they never own a block). Short-lived workers simply drop their
+handles at process exit; the *persistent* pool workers of
+:mod:`repro.runtime.pool` instead receive an explicit retire message
+when a cell's run finishes and call :func:`release`, so a plan's
+worker-side footprint stays at the long-lived resources plus the cells
+currently in flight. Pools are thread-safe: under the DAG plan
+scheduler several cell driver threads publish into one ambient plan
+pool concurrently.
 """
 
 from __future__ import annotations
 
 import pickle
+import sys
+import threading
 from contextlib import contextmanager
 from io import BytesIO
 from multiprocessing import shared_memory
@@ -38,6 +47,7 @@ __all__ = [
     "active_pool",
     "dumps",
     "loads",
+    "release",
     "shared_pool",
 ]
 
@@ -62,37 +72,59 @@ class SharedArrayPool:
         self._blocks: list[shared_memory.SharedMemory] = []
         self._tokens: dict[int, tuple] = {}
         self._pinned: list[np.ndarray] = []
+        self._lock = threading.Lock()
 
     def publish(self, array: np.ndarray) -> tuple:
         """The persistent-id token of ``array``, publishing on first use."""
-        token = self._tokens.get(id(array))
-        if token is not None:
+        with self._lock:
+            token = self._tokens.get(id(array))
+            if token is not None:
+                return token
+            source = np.ascontiguousarray(array)
+            block = shared_memory.SharedMemory(
+                create=True, size=max(source.nbytes, 1)
+            )
+            np.ndarray(source.shape, dtype=source.dtype, buffer=block.buf)[...] = source
+            token = (_TOKEN_KIND, block.name, source.dtype.str, source.shape)
+            self._blocks.append(block)
+            self._tokens[id(array)] = token
+            self._pinned.append(array)
             return token
-        source = np.ascontiguousarray(array)
-        block = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1))
-        np.ndarray(source.shape, dtype=source.dtype, buffer=block.buf)[...] = source
-        token = (_TOKEN_KIND, block.name, source.dtype.str, source.shape)
-        self._blocks.append(block)
-        self._tokens[id(array)] = token
-        self._pinned.append(array)
-        return token
+
+    def token_of(self, array: np.ndarray) -> "tuple | None":
+        """The token of an already-published array, or ``None``."""
+        with self._lock:
+            return self._tokens.get(id(array))
 
     @property
     def num_published(self) -> int:
         """Number of distinct arrays published so far."""
-        return len(self._blocks)
+        with self._lock:
+            return len(self._blocks)
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        """The shared-memory block names this pool has published.
+
+        The retire grain of the persistent worker pool: when a cell's
+        run finishes, its run-local pool's names are broadcast so the
+        long-lived workers drop their attachments.
+        """
+        with self._lock:
+            return tuple(block.name for block in self._blocks)
 
     def close(self) -> None:
         """Release and unlink every published block (parent side)."""
-        for block in self._blocks:
+        with self._lock:
+            blocks, self._blocks = self._blocks, []
+            self._tokens = {}
+            self._pinned = []
+        for block in blocks:
             block.close()
             try:
                 block.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-        self._blocks.clear()
-        self._tokens.clear()
-        self._pinned.clear()
 
     def __enter__(self) -> "SharedArrayPool":
         return self
@@ -117,7 +149,7 @@ class PoolChain:
         self.threshold = overlay.threshold
 
     def publish(self, array: np.ndarray) -> tuple:
-        token = self._primary._tokens.get(id(array))
+        token = self._primary.token_of(array)
         if token is not None:
             return token
         return self._overlay.publish(array)
@@ -184,12 +216,20 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-#: Process-lifetime cache of attached blocks. ``SharedMemory.__del__``
+#: Attachment cache of the attaching process. ``SharedMemory.__del__``
 #: closes its mapping, so every handle whose buffer backs a live array
-#: view must stay referenced — the attaching process (a short-lived
-#: worker, or a test doing an in-process round trip) pins them here and
-#: they are released at process exit.
+#: view must stay referenced — the attaching process (a pool worker, or
+#: a test doing an in-process round trip) pins them here. Short-lived
+#: processes release them at exit; persistent pool workers release a
+#: cell's blocks via :func:`release` when the parent retires them.
+#: Guarded by a lock: pool workers unpickle several cells' payloads
+#: from concurrent task threads.
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_ATTACHED_LOCK = threading.Lock()
+
+#: Handles whose unmap failed at release time (a view surfaced between
+#: the refcount check and the close); pinned to silence their __del__.
+_UNRELEASABLE: list = []
 
 
 class _PlaneUnpickler(pickle.Unpickler):
@@ -199,14 +239,49 @@ class _PlaneUnpickler(pickle.Unpickler):
         kind, name, dtype, shape = pid
         if kind != _TOKEN_KIND:
             raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
-        cached = _ATTACHED.get(name)
-        if cached is None:
-            block = _attach(name)
-            array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
-            array.flags.writeable = False
-            cached = (block, array)
-            _ATTACHED[name] = cached
+        with _ATTACHED_LOCK:
+            cached = _ATTACHED.get(name)
+            if cached is None:
+                block = _attach(name)
+                array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+                array.flags.writeable = False
+                cached = (block, array)
+                _ATTACHED[name] = cached
         return cached[1]
+
+
+def release(names) -> None:
+    """Drop this process's cached attachments for the named blocks.
+
+    Called by persistent pool workers when the parent retires a
+    finished cell's run-local blocks. Unmapping requires that no live
+    ndarray view still exports the buffer; a block whose view survived
+    the task teardown (e.g. kept alive by a reference cycle awaiting
+    GC) is left pinned rather than half-released — the memory then goes
+    back with the next retire that finds it collectable, or at process
+    exit.
+    """
+    for name in names:
+        with _ATTACHED_LOCK:
+            cached = _ATTACHED.pop(name, None)
+        if cached is None:
+            continue
+        block, array = cached
+        del cached
+        if sys.getrefcount(array) > 2:
+            # A task still holds views into this block (the cache's
+            # reference plus getrefcount's argument account for 2):
+            # unmapping now would raise, so keep it pinned.
+            with _ATTACHED_LOCK:
+                _ATTACHED[name] = (block, array)
+            continue
+        del array
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - late export
+            # Pin the handle so its __del__ does not retry (and warn);
+            # the mapping is freed at process exit.
+            _UNRELEASABLE.append(block)
 
 
 def dumps(obj, pool: SharedArrayPool) -> bytes:

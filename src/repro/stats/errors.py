@@ -12,13 +12,27 @@ coverage so silent gaps cannot masquerade as accuracy.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.exceptions import EstimationError
 
-__all__ = ["nrmse", "nrmse_stack", "relative_error"]
+__all__ = ["nanmean_rows", "nrmse", "nrmse_stack", "relative_error"]
+
+
+def nanmean_rows(stack: np.ndarray) -> np.ndarray:
+    """``np.nanmean(stack, axis=0)`` without the empty-slice warning.
+
+    Bit-identical to ``nanmean`` (same masked sum in the same order,
+    same ``0/0 -> nan`` for all-nan columns, ``inf`` contributions
+    preserved), but silent and **thread-safe**: suppressing the warning
+    with ``warnings.catch_warnings`` mutates global filter state, which
+    races when the DAG plan scheduler reduces several cells in
+    concurrent driver threads.
+    """
+    mask = ~np.isnan(stack)
+    total = np.where(mask, stack, 0.0).sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return total / mask.sum(axis=0)
 
 
 def nrmse(estimates: np.ndarray, truth: float) -> float:
@@ -62,9 +76,7 @@ def nrmse_stack(
         )
     finite = np.isfinite(estimate_stack)
     coverage = finite.mean(axis=0)
-    with warnings.catch_warnings():
-        warnings.filterwarnings("ignore", message="Mean of empty slice")
-        mse = np.nanmean((estimate_stack - truth) ** 2, axis=0)
+    mse = nanmean_rows((estimate_stack - truth) ** 2)
     with np.errstate(invalid="ignore", divide="ignore"):
         values = np.where(
             np.isfinite(truth) & (truth != 0), np.sqrt(mse) / np.abs(truth), np.nan

@@ -57,7 +57,7 @@ from repro.graph.partition import CategoryPartition
 from repro.rng import ensure_rng, spawn_rngs
 from repro.sampling.base import NodeSample, Sampler
 from repro.sampling.observation import observe_induced, observe_star
-from repro.stats.errors import nrmse_stack
+from repro.stats.errors import nanmean_rows, nrmse_stack
 from repro.stats.prefix import IncrementalPrefixLadder, RungEstimates
 
 __all__ = ["SweepResult", "run_nrmse_sweep", "run_nrmse_sweep_from_samples"]
@@ -336,12 +336,11 @@ def _reduce_stacks(
         if truth_mode == "cross-sample":
             # Paper Sec. 7.2: pseudo-truth = the per-kind average of the
             # full-length estimates across the replicate walks.
-            import warnings as _warnings
-
-            with _warnings.catch_warnings():
-                _warnings.filterwarnings("ignore", message="Mean of empty slice")
-                size_truth = np.nanmean(size_stacks[kind][:, -1], axis=0)
-                weight_truth = np.nanmean(weight_stacks[kind][:, -1], axis=0)
+            # (nanmean_rows, not nanmean-with-filtered-warnings: filter
+            # mutation is process-global and the DAG scheduler reduces
+            # cells in concurrent threads.)
+            size_truth = nanmean_rows(size_stacks[kind][:, -1])
+            weight_truth = nanmean_rows(weight_stacks[kind][:, -1])
         else:
             size_truth = truth.sizes
             weight_truth = truth.weights

@@ -76,6 +76,7 @@ def test_checkpointed_run_writes_manifest_samples_and_rung_files(
         "rung_001.npz",
         "rung_002.npz",
         "samples.npz",
+        "truth.npz",
     ]
     manifest = json.loads((sweep_dir / "manifest.json").read_text())
     assert manifest["design"] == "swrw"
@@ -149,8 +150,12 @@ def test_resume_skips_the_observation_rebuild(world, serial, tmp_path, monkeypat
 
     ``observe_both`` is monkeypatched to explode; fork-context workers
     inherit the patch, so bit-identical resumed output proves the
-    per-replicate observation pass never re-ran.
+    per-replicate observation pass never re-ran. The persistent pool
+    is reset after patching so the resumed run forks *fresh* workers
+    that carry the tripwire (pooled workers pre-date the patch).
     """
+    from repro.runtime.pool import reset_default_pools
+
     _run(world, tmp_path)
     sweep_dir = next(tmp_path.glob("sweep-*"))
     assert (sweep_dir / "observations.npz").exists()
@@ -163,7 +168,11 @@ def test_resume_skips_the_observation_rebuild(world, serial, tmp_path, monkeypat
         raise AssertionError("resume rebuilt observe_both")
 
     monkeypatch.setattr(prefix_module, "observe_both", explode)
-    resumed = _run(world, tmp_path, workers=2, resume=True)
+    reset_default_pools()
+    try:
+        resumed = _run(world, tmp_path, workers=2, resume=True)
+    finally:
+        reset_default_pools()
     assert_sweeps_equal(serial, resumed, "observation-seeded resume")
 
 

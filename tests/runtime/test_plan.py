@@ -122,9 +122,12 @@ def test_plan_resume_reuses_persisted_observations(tmp_path, monkeypatch):
 
     With the fork start method the workers inherit the parent's
     monkeypatched modules, so making ``observe_both`` explode proves
-    the resumed ladder build never calls it.
+    the resumed ladder build never calls it. The persistent worker
+    pool is reset *after* patching — pooled workers forked by earlier
+    sweeps would otherwise pre-date the patch and defuse the tripwire.
     """
     from repro.experiments import run_ablations
+    from repro.runtime.pool import reset_default_pools
 
     with runtime_options(executor="process", workers=2, checkpoint=tmp_path):
         first = run_ablations(which=("plugin",), preset=TINY, rng=0)
@@ -143,10 +146,16 @@ def test_plan_resume_reuses_persisted_observations(tmp_path, monkeypatch):
     import repro.stats.prefix as prefix_module
 
     monkeypatch.setattr(prefix_module, "observe_both", explode)
-    with runtime_options(
-        executor="process", workers=2, checkpoint=tmp_path, resume=True
-    ):
-        resumed = run_ablations(which=("plugin",), preset=TINY, rng=0)
+    reset_default_pools()
+    try:
+        with runtime_options(
+            executor="process", workers=2, checkpoint=tmp_path, resume=True
+        ):
+            resumed = run_ablations(which=("plugin",), preset=TINY, rng=0)
+    finally:
+        # The patched module is baked into the fresh workers; retire
+        # them so later tests fork clean ones.
+        reset_default_pools()
     assert_results_equal(first, resumed, "observation-seeded resume")
 
 

@@ -1,0 +1,395 @@
+"""DAG plan scheduler: bit-equality, kill/resume, substrate-free replay.
+
+The acceptance bar of the scheduler refactor: a plan executed as a DAG
+— resources building concurrently, independent cells overlapping on the
+persistent worker pool — produces **byte-identical** output to the
+serial cell loop for any worker count and any in-flight bound; a plan
+killed with several cells in flight resumes to the same bytes; and a
+fully rung-cached cell resumes without its substrate ever being built.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import EstimationError, ExperimentError
+from repro.experiments import run_experiment
+from repro.experiments.plan import (
+    PlanResources,
+    SweepCell,
+    SweepJob,
+    SweepPlan,
+)
+from repro.generators import planted_category_graph
+from repro.runtime import runtime_options
+from repro.runtime.config import resolve_plan_scheduler
+from repro.runtime.plan import run_plan
+from repro.runtime.pool import default_pool, reset_default_pools
+from repro.sampling import RandomWalkSampler
+from repro.stats import run_nrmse_sweep
+
+from tests.experiments.test_experiments import TINY
+from tests.runtime.test_executor import assert_sweeps_equal
+from tests.runtime.test_plan import assert_results_equal
+
+
+@pytest.fixture(scope="module")
+def fig6_serial():
+    return run_experiment("fig6", preset=TINY, rng=0)
+
+
+@pytest.fixture(scope="module")
+def fig4_serial():
+    return run_experiment("fig4", preset=TINY, rng=0)
+
+
+# ----------------------------------------------------------------------
+# Bit-equality: DAG schedule vs serial loop vs serial executor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_fig6_dag_bit_identical_for_any_worker_count(workers, fig6_serial):
+    with runtime_options(
+        executor="process", workers=workers, plan_scheduler="dag"
+    ):
+        dag = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, dag, f"fig6 dag workers={workers}")
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_fig4_dag_bit_identical_for_any_worker_count(workers, fig4_serial):
+    with runtime_options(
+        executor="process", workers=workers, plan_scheduler="dag"
+    ):
+        dag = run_experiment("fig4", preset=TINY, rng=0)
+    assert_results_equal(fig4_serial, dag, f"fig4 dag workers={workers}")
+
+
+@pytest.mark.parametrize("experiment", ["fig4", "fig6"])
+def test_dag_matches_serial_loop_under_the_process_executor(
+    experiment, fig4_serial, fig6_serial
+):
+    """Same executor, different schedules: the loop is the DAG's twin."""
+    with runtime_options(
+        executor="process", workers=2, plan_scheduler="serial"
+    ):
+        loop = run_experiment(experiment, preset=TINY, rng=0)
+    with runtime_options(executor="process", workers=2, plan_scheduler="dag"):
+        dag = run_experiment(experiment, preset=TINY, rng=0)
+    assert_results_equal(loop, dag, f"{experiment} loop-vs-dag")
+    baseline = fig4_serial if experiment == "fig4" else fig6_serial
+    assert_results_equal(baseline, dag, f"{experiment} serial-vs-dag")
+
+
+@pytest.mark.parametrize(
+    "experiment", ["fig3", "fig5", "fig7", "table1", "table2", "ablations"]
+)
+def test_every_other_experiment_is_dag_bit_identical_too(experiment):
+    """The acceptance bar covers the whole registry, not just the two
+    DAG-widest plans (fig4/fig6 get the 1/2/3-worker treatment above)."""
+    serial = run_experiment(experiment, preset=TINY, rng=0)
+    with runtime_options(executor="process", workers=2, plan_scheduler="dag"):
+        dag = run_experiment(experiment, preset=TINY, rng=0)
+    assert_results_equal(serial, dag, f"{experiment} serial-vs-dag")
+
+
+@pytest.mark.parametrize("inflight", ["1", "3"])
+def test_inflight_bound_never_touches_the_bytes(
+    inflight, fig6_serial, monkeypatch
+):
+    monkeypatch.setenv("REPRO_PLAN_INFLIGHT", inflight)
+    with runtime_options(executor="process", workers=2):
+        dag = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, dag, f"fig6 inflight={inflight}")
+
+
+def test_malformed_inflight_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_INFLIGHT", "two")
+    with pytest.raises(EstimationError, match="REPRO_PLAN_INFLIGHT"):
+        with runtime_options(executor="process", workers=2):
+            run_experiment("fig6", preset=TINY, rng=0)
+
+
+# ----------------------------------------------------------------------
+# Kill/resume with cells in flight
+# ----------------------------------------------------------------------
+def test_mid_plan_kill_with_two_cells_in_flight_resumes_to_same_bytes(
+    fig6_serial, tmp_path, monkeypatch
+):
+    """Two cells die mid-ladder (the in-flight pair), later cells never
+    started; ``--resume`` must finish the plan to the same bytes.
+
+    The kill is simulated by pruning the checkpoint to exactly the
+    state a kill with ``REPRO_PLAN_INFLIGHT=2`` produces: one cell
+    complete, the two in-flight cells each missing their later rungs,
+    the rest absent — and ``cells.json`` still claiming the pruned
+    cells, which replay must detect as incomplete and recompute.
+    """
+    monkeypatch.setenv("REPRO_PLAN_INFLIGHT", "2")
+    with runtime_options(executor="process", workers=2, checkpoint=tmp_path):
+        first = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, first, "checkpointed DAG run")
+    plan_dir = next(tmp_path.glob("plan-*"))
+    cell_dirs = sorted(d for d in plan_dir.iterdir() if d.is_dir())
+    assert len(cell_dirs) == 5
+    import shutil
+
+    for index, cell_dir in enumerate(cell_dirs):
+        if index == 0:
+            continue  # completed before the kill
+        elif index in (1, 2):  # the in-flight pair: first rung landed
+            sweep_dir = next(cell_dir.glob("sweep-*"))
+            for rung in sorted(sweep_dir.glob("rung_*.npz"))[1:]:
+                rung.unlink()
+        else:  # never started
+            shutil.rmtree(cell_dir)
+
+    with runtime_options(
+        executor="process", workers=3, checkpoint=tmp_path, resume=True
+    ):
+        resumed = run_experiment("fig6", preset=TINY, rng=0)
+    assert_results_equal(fig6_serial, resumed, "resume after mid-plan kill")
+    assert len([d for d in plan_dir.iterdir() if d.is_dir()]) == 5
+
+
+# ----------------------------------------------------------------------
+# Substrate-free replay of recorded cells
+# ----------------------------------------------------------------------
+def _probe_plan(calls: dict):
+    """One fresh-draw sweep cell over one counted resource."""
+
+    def factory():
+        calls["resource"] += 1
+        return planted_category_graph(k=4, scale=120, rng=3)
+
+    def build(resources: PlanResources) -> SweepJob:
+        calls["build"] += 1
+        graph, partition = resources["sub"]
+        return SweepJob(
+            graph=graph,
+            partition=partition,
+            sizes=(30, 90),
+            sampler=RandomWalkSampler(graph),
+            replications=3,
+            rng=7,
+        )
+
+    return SweepPlan(
+        name="probe-replay",
+        cells=(SweepCell(key="only", build=build, needs=("sub",)),),
+        resources={"sub": factory},
+        context={"seed": 7},
+    )
+
+
+def test_fully_cached_cell_resumes_without_rebuilding_its_substrate(tmp_path):
+    calls = {"resource": 0, "build": 0}
+    first = run_plan(
+        _probe_plan(calls), executor="process", workers=2, checkpoint=tmp_path
+    )
+    assert calls == {"resource": 1, "build": 1}
+
+    plan_dir = next(tmp_path.glob("plan-*"))
+    recorded = json.loads((plan_dir / "cells.json").read_text())
+    assert set(recorded) == {"only"}
+
+    replay_calls = {"resource": 0, "build": 0}
+    replayed = run_plan(
+        _probe_plan(replay_calls),
+        executor="process",
+        workers=2,
+        checkpoint=tmp_path,
+        resume=True,
+    )
+    # The whole point: neither the resource nor the cell substrate was
+    # ever constructed — the result came from cells.json + truth.npz +
+    # the rung files alone.
+    assert replay_calls == {"resource": 0, "build": 0}
+    assert_sweeps_equal(first["only"], replayed["only"], "substrate-free replay")
+
+    # A pruned rung invalidates the recorded key's replay: the cell
+    # falls back to the build-and-resume path (and the bytes still
+    # match).
+    sweep_dir = next((plan_dir / "only").glob("sweep-*"))
+    sorted(sweep_dir.glob("rung_*.npz"))[-1].unlink()
+    fallback_calls = {"resource": 0, "build": 0}
+    fallback = run_plan(
+        _probe_plan(fallback_calls),
+        executor="process",
+        workers=2,
+        checkpoint=tmp_path,
+        resume=True,
+    )
+    assert fallback_calls == {"resource": 1, "build": 1}
+    assert_sweeps_equal(first["only"], fallback["only"], "post-tamper resume")
+
+
+def test_recorded_cells_survive_for_every_sweep_cell(tmp_path):
+    with runtime_options(executor="process", workers=2, checkpoint=tmp_path):
+        run_experiment("fig6", preset=TINY, rng=0)
+    plan_dir = next(tmp_path.glob("plan-*"))
+    recorded = json.loads((plan_dir / "cells.json").read_text())
+    assert set(recorded) == {"MHRW09", "RW09", "UIS09", "RW10", "S-WRW10"}
+    for cell_key, sweep_key in recorded.items():
+        assert (plan_dir / cell_key / f"sweep-{sweep_key}").is_dir()
+
+
+# ----------------------------------------------------------------------
+# The persistent pool
+# ----------------------------------------------------------------------
+def test_persistent_pool_reuses_workers_across_sweeps():
+    graph, partition = planted_category_graph(k=4, scale=120, rng=5)
+    reset_default_pools()
+
+    def sweep():
+        return run_nrmse_sweep(
+            graph,
+            partition,
+            RandomWalkSampler(graph),
+            (30, 90),
+            replications=4,
+            rng=11,
+            executor="process",
+            workers=2,
+        )
+
+    first = sweep()
+    pids = default_pool().worker_pids()
+    assert len(pids) >= 2
+    second = sweep()
+    assert default_pool().worker_pids() == pids, (
+        "a second sweep must reuse the live workers, not respawn"
+    )
+    assert_sweeps_equal(first, second, "pooled back-to-back sweeps")
+
+
+def test_plan_resource_blocks_are_retired_from_persistent_workers():
+    """A finished plan must not leak its resource arrays into workers.
+
+    Cell-local blocks are retired per cell; the plan's *ambient*
+    resource blocks are retired when the plan ends. Without that, every
+    plan run pins one dead copy of its substrate in each persistent
+    worker for the process lifetime (observable on Linux as unlinked
+    ``psm_*`` mappings in ``/proc/<pid>/maps``).
+    """
+    import pathlib
+    import time
+
+    if not pathlib.Path("/proc").exists():  # pragma: no cover - non-Linux
+        pytest.skip("needs /proc to observe worker mappings")
+    with runtime_options(executor="process", workers=2):
+        run_experiment("fig6", preset=TINY, rng=0)
+    deadline = time.monotonic() + 10.0
+    while True:  # retire messages drain asynchronously
+        pinned = {
+            pid: sum(
+                1
+                for line in pathlib.Path(f"/proc/{pid}/maps")
+                .read_text()
+                .splitlines()
+                if "psm_" in line and "(deleted)" in line
+            )
+            for pid in default_pool().worker_pids()
+        }
+        if not any(pinned.values()) or time.monotonic() > deadline:
+            break
+        time.sleep(0.1)
+    assert not any(pinned.values()), pinned
+
+
+def test_worker_failures_leave_the_pool_usable():
+    """A task error surfaces as EstimationError without killing workers."""
+    from tests.runtime.test_executor import _ExplodingSampler
+
+    graph, partition = planted_category_graph(k=4, scale=120, rng=5)
+    run_nrmse_sweep(
+        graph,
+        partition,
+        RandomWalkSampler(graph),
+        (30, 90),
+        replications=4,
+        rng=11,
+        executor="process",
+        workers=2,
+    )
+    pids = default_pool().worker_pids()
+    with pytest.raises(EstimationError, match="boom inside the worker"):
+        run_nrmse_sweep(
+            graph,
+            partition,
+            _ExplodingSampler(graph),
+            (30, 90),
+            replications=4,
+            rng=11,
+            executor="process",
+            workers=2,
+        )
+    assert default_pool().worker_pids() == pids, (
+        "task errors must not take down the persistent workers"
+    )
+
+
+# ----------------------------------------------------------------------
+# Declared dependencies and thread-safe resources
+# ----------------------------------------------------------------------
+def test_undeclared_needs_rejected_at_compile_time():
+    def build(resources):  # pragma: no cover - never built
+        raise AssertionError
+
+    with pytest.raises(ExperimentError, match="undeclared resources"):
+        SweepPlan(
+            name="bad",
+            cells=(SweepCell(key="x", build=build, needs=("nope",)),),
+        )
+    with pytest.raises(ExperimentError, match="finalize needs undeclared"):
+        SweepPlan(
+            name="bad",
+            cells=(),
+            finalize_needs=("nope",),
+        )
+
+
+def test_plan_resources_build_once_under_concurrency():
+    builds = []
+
+    def factory():
+        builds.append(1)
+        return object()
+
+    resources = PlanResources({"x": factory})
+    with ThreadPoolExecutor(max_workers=8) as threads:
+        values = list(threads.map(lambda _: resources["x"], range(16)))
+    assert len(builds) == 1
+    assert all(value is values[0] for value in values)
+
+
+def test_plan_resources_propagate_factory_failures_to_every_waiter():
+    def factory():
+        raise RuntimeError("substrate exploded")
+
+    resources = PlanResources({"x": factory})
+    with pytest.raises(RuntimeError, match="substrate exploded"):
+        resources["x"]
+    # Later accessors see the same failure instead of a hang or rebuild.
+    with pytest.raises(RuntimeError, match="substrate exploded"):
+        resources["x"]
+
+
+def test_scheduler_knob_resolution(monkeypatch):
+    assert resolve_plan_scheduler("serial") == "serial"
+    assert resolve_plan_scheduler(None) == "dag"
+    monkeypatch.setenv("REPRO_PLAN_SCHEDULER", "serial")
+    assert resolve_plan_scheduler(None) == "serial"
+    with pytest.raises(EstimationError, match="unknown plan scheduler"):
+        resolve_plan_scheduler("threads")
+
+
+def test_describe_renders_the_dag():
+    from repro.experiments import compile_experiment
+
+    description = compile_experiment("fig6", preset=TINY, rng=0).describe()
+    assert "[resource] world" in description
+    assert "<- world" in description
+    assert "[finalize] <- world" in description
