@@ -166,6 +166,29 @@ def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
             "Output is bit-identical either way."
         ),
     )
+    command.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "shard failover budget: attempts tolerated per shard beyond "
+            "the first before the run fails with a structured "
+            "WorkerFailure (default 2; recovery is byte-identical to an "
+            "undisturbed run)"
+        ),
+    )
+    command.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "treat a worker task that sends no heartbeat for SECONDS as "
+            "hung and fail it over like a dead worker (default: no "
+            "timeout — only worker death triggers failover)"
+        ),
+    )
 
 
 def _runtime_scope(args):
@@ -175,20 +198,27 @@ def _runtime_scope(args):
     wants_executor = (
         args.workers is not None or args.checkpoint is not None or args.resume
     )
-    if not wants_executor and args.scheduler is None:
+    tuning = (
+        args.scheduler is not None
+        or args.max_retries is not None
+        or args.task_timeout is not None
+    )
+    if not wants_executor and not tuning:
         from contextlib import nullcontext
 
         return nullcontext()
     return runtime_options(
-        # --scheduler alone must not force the process executor: the
-        # knob only selects how a *parallel* plan (selected elsewhere,
-        # e.g. REPRO_EXECUTOR) schedules its cells.
+        # --scheduler/--max-retries/--task-timeout alone must not force
+        # the process executor: they only tune a parallel run selected
+        # elsewhere (e.g. REPRO_EXECUTOR).
         executor="process" if wants_executor else None,
         workers=args.workers,
         checkpoint=args.checkpoint,
         # absent flag = unset, so ambient/env resume settings still apply
         resume=True if args.resume else None,
         plan_scheduler=args.scheduler,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
     )
 
 

@@ -98,8 +98,33 @@ choose — by construction rather than by tolerance:
    not on the replay path; after changing substrate-producing code,
    run once without ``--resume`` (or delete the plan directory) rather
    than resuming into it.
+5. **Failure is survivable — and recovery reproduces the same bits.**
+   Because streams are seed-named and shards are re-executable (points
+   1-2), a worker that dies or wedges mid-shard is not a lost run: the
+   executor's failover path respawns a replacement, replays the
+   shard's task from its own seeds, folds forward past every rung the
+   parent already received (the same integer skip-fold the resume path
+   uses), and continues — output byte-identical to an undisturbed run,
+   at any worker count. Retries are budgeted per shard
+   (``REPRO_MAX_RETRIES`` / ``--max-retries``, default 2 beyond the
+   first attempt); exhaustion raises a structured
+   :class:`~repro.runtime.pool.WorkerFailure` naming the shard, every
+   attempt's pid/exit code/phase, and any traceback the dying worker
+   spilled to disk. A worker that hangs without dying is caught by
+   per-task heartbeats against ``REPRO_TASK_TIMEOUT`` /
+   ``--task-timeout`` (no timeout by default) and escalated through
+   the same path. When workers cannot be (re)spawned at all, the
+   runtime degrades — first to fewer workers (shards multiplex over
+   the survivors), ultimately to in-process serial execution — each
+   step with a single :class:`RuntimeWarning`, never a crash, and
+   never different bytes. Checkpoint payloads carry embedded checksums:
+   a corrupt file is quarantined as ``*.corrupt`` and its rows
+   recomputed instead of poisoning a resume. All of it is exercised
+   deterministically by the fault-injection harness
+   (:mod:`repro.runtime.faults`, ``REPRO_FAULTS``) rather than waiting
+   for real hardware to misbehave.
 
-``tests/runtime/`` enforces all four properties —
+``tests/runtime/`` enforces all five properties —
 ``test_scheduler.py`` at the DAG grain (fig4 and fig6 bit-equal
 serial-loop vs DAG at 1/2/3 workers, mid-plan kill with cells in
 flight, substrate-free replay), ``test_plan.py`` at the plan grain —
@@ -119,6 +144,8 @@ from repro.runtime.executor import ProcessSweepExecutor, replay_sweep
 from repro.runtime.plan import run_plan
 from repro.runtime.pool import (
     PersistentWorkerPool,
+    WorkerDied,
+    WorkerFailure,
     default_pool,
     reset_default_pools,
 )
@@ -131,6 +158,8 @@ __all__ = [
     "RuntimeOptions",
     "SharedArrayPool",
     "SweepCheckpoint",
+    "WorkerDied",
+    "WorkerFailure",
     "active_options",
     "default_pool",
     "replay_sweep",

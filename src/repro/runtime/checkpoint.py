@@ -41,6 +41,12 @@ computing at the first missing cell/rung.
 
 All writes are atomic (temp file + ``os.replace``), so a kill mid-write
 leaves either the previous state or the new one, never a torn file.
+Every payload additionally embeds a SHA-256 checksum over its arrays;
+readers verify it and *quarantine* any file that fails (truncated by a
+full disk, bit-flipped, or hand-edited) by renaming it to
+``<name>.corrupt`` — the affected rung/observations are then simply
+recomputed, so a corrupt checkpoint degrades a resume instead of
+crashing it.
 """
 
 from __future__ import annotations
@@ -55,6 +61,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.runtime import faults
+
 __all__ = [
     "PlanCheckpoint",
     "SweepCheckpoint",
@@ -64,7 +72,10 @@ __all__ = [
 ]
 
 #: Bump when the on-disk layout changes; part of the manifest key.
-CHECKPOINT_FORMAT = 2
+#: Format 3 added embedded payload checksums, so format-2 files (no
+#: checksum) land under different manifest keys and are never misread
+#: as corrupt format-3 payloads.
+CHECKPOINT_FORMAT = 3
 
 #: The stack row fields stored per rung, in file order.
 _ROW_FIELDS = ("sizes_induced", "sizes_star", "weights_induced", "weights_star")
@@ -103,21 +114,101 @@ def _atomic_write(path: Path, writer) -> None:
     os.replace(tmp, path)
 
 
+def _payload_checksum(arrays: "dict[str, np.ndarray]") -> str:
+    """SHA-256 over a payload's arrays (name + dtype + shape + bytes).
+
+    Field order is canonicalized by sorting names, so the checksum is a
+    pure function of the payload contents — the same digest whether it
+    is computed before a save or after a verified load.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _quarantine(path: Path) -> None:
+    """Move a corrupt payload aside as ``<name>.corrupt`` (or drop it).
+
+    The rename preserves the evidence for postmortems while clearing
+    the canonical name so the runtime recomputes and rewrites it; if
+    even the rename fails the file is unlinked — a corrupt checkpoint
+    must never be re-read as truth.
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced cleanup
+            pass
+
+
+def _load_verified(path: Path) -> "dict[str, np.ndarray] | None":
+    """Load an npz payload and verify its embedded checksum.
+
+    Returns the payload's arrays (checksum field stripped), or ``None``
+    after quarantining the file when it is unreadable, missing its
+    checksum, or fails verification. A missing file is plain ``None``.
+    """
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except Exception:
+        _quarantine(path)
+        return None
+    stored = arrays.pop("checksum", None)
+    if stored is None or str(stored) != _payload_checksum(arrays):
+        _quarantine(path)
+        return None
+    return arrays
+
+
+def _save_payload(
+    path: Path, arrays: dict, kind: str, compressed: bool = False
+) -> None:
+    """Atomically write a checksummed npz payload of the given kind.
+
+    ``kind`` (``rung``/``observations``/``samples``/``truth``) is the
+    hook the fault harness matches ``corrupt-checkpoint:file=KIND``
+    directives against: an armed fault truncates the file *after* the
+    atomic write, modeling mid-write power loss or disk-full torn state
+    that slipped past ``os.replace``.
+    """
+    arrays = {name: np.asarray(value) for name, value in arrays.items()}
+    arrays["checksum"] = np.asarray(_payload_checksum(arrays))
+    save = np.savez_compressed if compressed else np.savez
+    _atomic_write(path, lambda h: save(h, **arrays))
+    if faults.take("corrupt-checkpoint", file=kind) is not None:
+        data = path.read_bytes()
+        path.write_bytes(data[: max(len(data) // 2, 1)])
+
+
 def read_rung(path: Path, size: int) -> "tuple[np.ndarray, ...] | None":
     """Rows of one persisted rung file, or ``None`` if absent/mismatched.
 
     Module-level so :func:`repro.runtime.executor.replay_sweep` can
     read a recorded sweep directory without opening (and therefore
-    re-fingerprinting) a :class:`SweepCheckpoint`.
+    re-fingerprinting) a :class:`SweepCheckpoint`. A corrupt file is
+    quarantined; a *valid* file whose rung size disagrees with the
+    requested ladder is left in place and simply not used.
     """
-    if not path.exists():
+    arrays = _load_verified(path)
+    if arrays is None:
         return None
     try:
-        with np.load(path) as data:
-            if int(data["size"]) != int(size):
-                return None
-            return tuple(data[field] for field in _ROW_FIELDS)
-    except (OSError, ValueError, KeyError):
+        if int(arrays["size"]) != int(size):
+            return None
+        return tuple(arrays[field] for field in _ROW_FIELDS)
+    except (KeyError, ValueError):
+        _quarantine(path)
         return None
 
 
@@ -132,15 +223,18 @@ def read_truth(directory: Path, names: tuple) -> "object | None":
     from repro.graph.category_graph import CategoryGraph
 
     path = directory / "truth.npz"
-    if not path.exists():
+    arrays = _load_verified(path)
+    if arrays is None:
         return None
     try:
-        with np.load(path) as data:
-            cuts = data["cuts"] if "cuts" in data.files else None
-            return CategoryGraph(
-                data["sizes"], data["weights"], names=names, cuts=cuts
-            )
-    except (OSError, ValueError, KeyError):
+        return CategoryGraph(
+            arrays["sizes"],
+            arrays["weights"],
+            names=names,
+            cuts=arrays.get("cuts"),
+        )
+    except (KeyError, ValueError):
+        _quarantine(path)
         return None
 
 
@@ -179,10 +273,9 @@ class SweepCheckpoint:
         _atomic_write(manifest_path, lambda h: h.write(payload.encode()))
 
     def _clear(self) -> None:
-        for stale in self.directory.glob("*.npz"):
-            stale.unlink()
-        for stale in self.directory.glob("*.tmp"):
-            stale.unlink()
+        for pattern in ("*.npz", "*.tmp", "*.corrupt"):
+            for stale in self.directory.glob(pattern):
+                stale.unlink()
 
     # ------------------------------------------------------------------
     # Samples (written once, after the sampling phase)
@@ -193,18 +286,20 @@ class SweepCheckpoint:
 
     def load_samples(self) -> "tuple[np.ndarray, np.ndarray] | None":
         """The checkpointed ``(nodes, weights)`` matrices, if present."""
-        if not self.samples_path.exists():
+        arrays = _load_verified(self.samples_path)
+        if arrays is None:
             return None
         try:
-            with np.load(self.samples_path) as data:
-                return data["nodes"], data["weights"]
-        except (OSError, ValueError, KeyError):
+            return arrays["nodes"], arrays["weights"]
+        except KeyError:
+            _quarantine(self.samples_path)
             return None
 
     def save_samples(self, nodes: np.ndarray, weights: np.ndarray) -> None:
-        _atomic_write(
+        _save_payload(
             self.samples_path,
-            lambda h: np.savez(h, nodes=nodes, weights=weights),
+            {"nodes": nodes, "weights": weights},
+            kind="samples",
         )
 
     # ------------------------------------------------------------------
@@ -221,20 +316,18 @@ class SweepCheckpoint:
         different count (impossible under matching manifests, but cheap
         to verify) is ignored rather than trusted.
         """
-        if not self.observations_path.exists():
+        arrays = _load_verified(self.observations_path)
+        if arrays is None:
             return None
         try:
-            with np.load(self.observations_path, allow_pickle=False) as data:
-                if int(data["count"]) != int(expected):
-                    return None
-                return [
-                    {
-                        f: data[f"r{rep:04d}_{f}"]
-                        for f in OBSERVATION_FIELDS
-                    }
-                    for rep in range(expected)
-                ]
-        except (OSError, ValueError, KeyError):
+            if int(arrays["count"]) != int(expected):
+                return None
+            return [
+                {f: arrays[f"r{rep:04d}_{f}"] for f in OBSERVATION_FIELDS}
+                for rep in range(expected)
+            ]
+        except (KeyError, ValueError):
+            _quarantine(self.observations_path)
             return None
 
     def save_observations(self, observations: "list[dict]") -> None:
@@ -243,9 +336,11 @@ class SweepCheckpoint:
         for rep, fields in enumerate(observations):
             for f in OBSERVATION_FIELDS:
                 arrays[f"r{rep:04d}_{f}"] = np.asarray(fields[f])
-        _atomic_write(
+        _save_payload(
             self.observations_path,
-            lambda h: np.savez_compressed(h, **arrays),
+            arrays,
+            kind="observations",
+            compressed=True,
         )
 
     # ------------------------------------------------------------------
@@ -269,7 +364,7 @@ class SweepCheckpoint:
         arrays = {"sizes": truth.sizes, "weights": truth.weights}
         if truth.cuts is not None:
             arrays["cuts"] = truth.cuts
-        _atomic_write(self.truth_path, lambda h: np.savez(h, **arrays))
+        _save_payload(self.truth_path, arrays, kind="truth")
 
     # ------------------------------------------------------------------
     # Rung rows (one file per completed ladder rung)
@@ -284,11 +379,8 @@ class SweepCheckpoint:
         return read_rung(self.rung_path(rung_index), size)
 
     def save_rung(self, rung_index: int, size: int, rows: tuple) -> None:
-        arrays = dict(zip(_ROW_FIELDS, rows))
-        _atomic_write(
-            self.rung_path(rung_index),
-            lambda h: np.savez(h, size=np.int64(size), **arrays),
-        )
+        arrays = dict(zip(_ROW_FIELDS, rows), size=np.int64(size))
+        _save_payload(self.rung_path(rung_index), arrays, kind="rung")
 
     def completed_rungs(self, sizes) -> list[int]:
         """Indices of rungs with a valid checkpoint file, given the ladder."""

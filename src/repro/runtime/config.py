@@ -11,9 +11,11 @@ knob was not given explicitly. Resolution order per knob:
 1. the explicit ``run_nrmse_sweep`` argument;
 2. the innermost active :func:`runtime_options` context;
 3. the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` / ``REPRO_CHECKPOINT`` /
-   ``REPRO_RESUME`` environment variables (how CI runs whole suites
-   under the parallel path without touching any call site);
-4. the serial in-process default.
+   ``REPRO_RESUME`` / ``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT``
+   environment variables (how CI runs whole suites under the parallel
+   path without touching any call site);
+4. the serial in-process default (and, for the fault-tolerance knobs,
+   a retry budget of :data:`DEFAULT_MAX_RETRIES` with no task timeout).
 
 This module is deliberately dependency-free (stdlib only): the serial
 sweep path imports it on every call and must stay light.
@@ -27,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
+    "DEFAULT_MAX_RETRIES",
     "RuntimeOptions",
     "active_options",
     "resolve_executor",
@@ -35,6 +38,11 @@ __all__ = [
 ]
 
 _TRUTHY = ("1", "true", "yes", "on")
+
+#: Default shard retry budget of the failover path: attempts tolerated
+#: per shard beyond the first failure before a structured
+#: :class:`~repro.runtime.pool.WorkerFailure` surfaces.
+DEFAULT_MAX_RETRIES = 2
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,13 @@ class RuntimeOptions:
     #: ``"serial"`` (the one-cell-at-a-time reference loop).
     #: ``None`` falls through (default: ``"dag"``).
     plan_scheduler: str | None = None
+    #: Shard retry budget of the failover path (``None``: fall
+    #: through, ultimately :data:`DEFAULT_MAX_RETRIES`).
+    max_retries: int | None = None
+    #: Heartbeat deadline (seconds) distinguishing a stuck worker task
+    #: from a slow one; ``None`` falls through (default: no timeout —
+    #: only worker *death* triggers failover).
+    task_timeout: float | None = None
 
 
 #: Innermost-wins stack of ambient option layers.
@@ -69,6 +84,8 @@ def runtime_options(
     checkpoint: "str | os.PathLike | None" = None,
     resume: bool | None = None,
     plan_scheduler: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ):
     """Install ambient executor defaults for the enclosed block."""
     layer = RuntimeOptions(
@@ -77,12 +94,35 @@ def runtime_options(
         checkpoint=None if checkpoint is None else Path(checkpoint),
         resume=None if resume is None else bool(resume),
         plan_scheduler=plan_scheduler,
+        max_retries=None if max_retries is None else int(max_retries),
+        task_timeout=None if task_timeout is None else float(task_timeout),
     )
     _STACK.append(layer)
     try:
         yield layer
     finally:
         _STACK.remove(layer)
+
+
+def _env_number(name: str, cast, minimum):
+    """Parse one numeric env knob, naming the variable on a bad value."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = cast(raw)
+    except ValueError:
+        from repro.exceptions import EstimationError
+
+        kind = "an integer" if cast is int else "a number"
+        raise EstimationError(
+            f"{name} must be {kind}, got {raw!r}"
+        ) from None
+    if value < minimum:
+        from repro.exceptions import EstimationError
+
+        raise EstimationError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 def _env_options() -> RuntimeOptions:
@@ -108,6 +148,8 @@ def _env_options() -> RuntimeOptions:
         checkpoint=Path(checkpoint_env) if checkpoint_env else None,
         resume=(resume_env in _TRUTHY) if resume_env else None,
         plan_scheduler=scheduler_env,
+        max_retries=_env_number("REPRO_MAX_RETRIES", int, 0),
+        task_timeout=_env_number("REPRO_TASK_TIMEOUT", float, 0.0),
     )
 
 
@@ -126,6 +168,16 @@ def active_options() -> RuntimeOptions:
                 layer.plan_scheduler
                 if layer.plan_scheduler is not None
                 else merged.plan_scheduler
+            ),
+            max_retries=(
+                layer.max_retries
+                if layer.max_retries is not None
+                else merged.max_retries
+            ),
+            task_timeout=(
+                layer.task_timeout
+                if layer.task_timeout is not None
+                else merged.task_timeout
             ),
         )
     return merged

@@ -29,6 +29,18 @@ Parent/worker protocol (one duplex pipe per worker)::
                                                       state forward only
     parent -> ("stop",)                               shut down
     worker -> ("error", traceback)                    any time, fatal
+    worker -> ("heartbeat",)                          liveness pulse
+                                                      (only when a task
+                                                      timeout is set);
+                                                      never a reply —
+                                                      recv skips it
+
+A dead or hung worker is *not* fatal: the drive loop runs every shard
+through a :class:`_FailoverDriver`, which re-dispatches a lost shard
+onto a replacement worker (same payload, same seeds — the determinism
+contract makes the replacement's rows byte-identical), bounded by
+``max_retries`` before a structured
+:class:`~repro.runtime.pool.WorkerFailure` surfaces.
 
 Rung-by-rung control is what makes checkpoint/resume work: after every
 gathered rung the parent persists that rung's rows, so a later run with
@@ -46,6 +58,11 @@ import hashlib
 import json
 import os
 import pickle
+import queue
+import signal
+import threading
+import traceback
+import warnings
 from io import BytesIO
 from pathlib import Path
 
@@ -57,9 +74,19 @@ from repro.graph.category_graph import true_category_graph
 from repro.graph.partition import CategoryPartition
 from repro.graph.union import UnionCSR
 from repro.rng import ensure_rng, spawn_seeds
-from repro.runtime import sharedmem
+from repro.runtime import faults, sharedmem
 from repro.runtime.checkpoint import SweepCheckpoint, read_rung, read_truth
-from repro.runtime.pool import default_pool, default_workers
+from repro.runtime.config import DEFAULT_MAX_RETRIES, active_options
+from repro.runtime.pool import (
+    WorkerDied,
+    WorkerFailure,
+    WorkerHang,
+    WorkerSpawnError,
+    default_pool,
+    default_workers,
+    parse_reply,
+    read_spill,
+)
 from repro.sampling.base import NodeSample, Sampler
 from repro.sampling.batch import sample_streams
 from repro.sampling.observation import (
@@ -321,12 +348,22 @@ def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
         send("observed", None)
     truth_sizes = cfg["truth_sizes"]
     plugin = cfg["weight_size_plugin"]
+    kill_rungs = {
+        directive[1]
+        for directive in map(tuple, cfg.get("faults") or ())
+        if directive and directive[0] == "kill"
+    }
     while True:
         message = recv()
         command = message[0]
         if command == "stop":
             break
         si, size = message[1], message[2]
+        if command == "rung" and si in kill_rungs:
+            # Injected mid-rung death: SIGKILL before computing a row,
+            # so the parent observes exactly what a segfault/OOM-kill
+            # looks like — a clean EOF with the rung unanswered.
+            os.kill(os.getpid(), signal.SIGKILL)
         if command == "skip":
             for ladder in ladders:
                 ladder.skip(size)
@@ -406,6 +443,323 @@ def replay_sweep(cell_root: "str | os.PathLike", sweep_key: str) -> "SweepResult
     )
 
 
+# ----------------------------------------------------------------------
+# Failover machinery
+# ----------------------------------------------------------------------
+class _InProcessChannel:
+    """Last-rung degradation: serve a shard on a thread of the parent.
+
+    Presents the :class:`~repro.runtime.pool.TaskChannel` surface
+    (``send``/``recv``/``close``/``condemn``/``process``) over a pair of
+    queues feeding :func:`serve_shard` in a daemon thread, so the drive
+    loop is transport-blind. Used when the pool cannot supply a single
+    worker (fork unavailable, respawns exhausted): slower, but the
+    sweep completes with identical bytes — the shard computes the same
+    rows from the same seeds wherever it runs. Fault directives and
+    heartbeats are stripped from the cfg: there is no process to kill
+    or time out, and an injected kill executed in-process would take
+    the parent down with it.
+    """
+
+    process = None
+
+    def __init__(self, payload: bytes, cfg: dict):
+        cfg = {
+            key: value
+            for key, value in cfg.items()
+            if key not in ("faults", "heartbeat")
+        }
+        self._commands: queue.SimpleQueue = queue.SimpleQueue()
+        self._replies: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve, args=(payload, cfg), daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self, payload, cfg) -> None:
+        try:
+            serve_shard(payload, cfg, self._commands.get, self._reply)
+        except BaseException:
+            self._replies.put(("error", traceback.format_exc()))
+
+    def _reply(self, *parts) -> None:
+        self._replies.put(parts)
+
+    def send(self, kind: str, *parts) -> None:
+        self._commands.put((kind,) + parts)
+
+    def recv(
+        self,
+        expected: str,
+        rung_index: "int | None" = None,
+        timeout: "float | None" = None,
+    ):
+        # No timeout: an in-process shard cannot hang without the
+        # parent being equally hung (they share the interpreter).
+        return parse_reply(self._replies.get(), expected, rung_index)
+
+    def condemn(self) -> None:  # pragma: no cover - never hung
+        pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._commands.put(("stop",))
+        self._thread.join(timeout=30)
+
+
+#: "No phase reply stored yet" marker (``None`` is a legitimate value:
+#: a shard that sampled nothing persistable replies ``(None, None)``).
+_UNSET = object()
+
+
+class _ShardRun:
+    """Parent-side failover state of one shard's task.
+
+    Everything needed to re-dispatch the shard from scratch on a
+    replacement worker: the immutable payload/cfg (re-seeding is
+    implicit — seeds live in the cfg, streams are rebuilt from them),
+    the rungs already folded into the parent's stacks (replayed as
+    exact ``skip`` folds), and the command in flight when the worker
+    died (re-sent after the replay catches up).
+    """
+
+    __slots__ = (
+        "slot",
+        "shard",
+        "payload",
+        "cfg",
+        "channel",
+        "retries",
+        "progress",
+        "pending",
+        "sampled",
+        "observed",
+        "phase",
+    )
+
+    def __init__(self, slot: int, shard, payload: bytes, cfg: dict):
+        self.slot = slot
+        self.shard = shard
+        self.payload = payload
+        self.cfg = cfg
+        self.channel = None
+        self.retries: list[dict] = []
+        self.progress: list[tuple[int, int]] = []
+        self.pending: "tuple | None" = None
+        self.sampled = _UNSET
+        self.observed = _UNSET
+        self.phase = "open"
+
+
+class _FailoverDriver:
+    """Drives a sweep's shard tasks with retry, failover, degradation.
+
+    Owns the leased worker handles and every :class:`_ShardRun`; the
+    executor's rung loop talks to shards exclusively through
+    :meth:`command`/:meth:`collect`, and any :class:`WorkerDied` (death
+    or heartbeat timeout) surfacing there is converted into a bounded
+    recovery: condemn if wedged, re-lease (respawning best-effort),
+    reopen the shard's task with its original payload/cfg minus fault
+    directives, replay its completed rungs as exact integer folds, and
+    re-send the in-flight command. ``max_retries`` failed attempts for
+    one shard raise a structured
+    :class:`~repro.runtime.pool.WorkerFailure`. Deterministic task
+    errors (``"error"`` replies) are *not* retried — they would fail
+    identically every time.
+
+    Degradation is monotonic and warned once per step: full worker
+    count -> fewer workers (shards multiplex over the survivors) ->
+    zero workers (every shard served by an in-process thread).
+    """
+
+    def __init__(self, pool, num_workers, max_retries, task_timeout):
+        self.pool = pool
+        self.num_workers = num_workers
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.handles: list = []
+        self.runs: list[_ShardRun] = []
+        self.failover_log: list[dict] = []
+        self._warned_fewer = False
+        self._warned_serial = False
+        self._lease(initial=True)
+
+    # ------------------------------------------------------------------
+    def _warn(self, message: str) -> None:
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+    def _lease(self, initial: bool = False) -> None:
+        """(Re-)lease live workers, degrading the target on failure."""
+        try:
+            self.handles = self.pool.lease_upto(self.num_workers)
+        except (WorkerSpawnError, OSError) as error:
+            self.handles = []
+            if not self._warned_serial:
+                self._warned_serial = True
+                self._warn(
+                    "worker pool unavailable "
+                    f"({error}); degrading to in-process serial execution"
+                )
+            return
+        if len(self.handles) < self.num_workers and not self._warned_fewer:
+            self._warned_fewer = True
+            self._warn(
+                f"worker pool sustained only {len(self.handles)} of "
+                f"{self.num_workers} requested workers; multiplexing "
+                "shards over the survivors"
+            )
+
+    def _heartbeat_interval(self) -> "float | None":
+        if self.task_timeout is None:
+            return None
+        return max(min(1.0, self.task_timeout / 4.0), 0.05)
+
+    # ------------------------------------------------------------------
+    def open(self, run: _ShardRun) -> None:
+        """Open ``run``'s task on its worker (or in-process)."""
+        self.runs.append(run)
+        directives = (
+            faults.take_worker_directives(run.slot) if self.handles else ()
+        )
+        self._open(run, directives)
+
+    def _open(self, run: _ShardRun, directives=()) -> None:
+        while True:
+            if not self.handles:
+                run.channel = _InProcessChannel(run.payload, run.cfg)
+                return
+            cfg = run.cfg
+            extras = {}
+            if directives:
+                extras["faults"] = directives
+            interval = self._heartbeat_interval()
+            if interval is not None:
+                extras["heartbeat"] = interval
+            if extras:
+                cfg = dict(cfg, **extras)
+            handle = self.handles[run.slot % len(self.handles)]
+            try:
+                run.channel = self.pool.open_task(handle, run.payload, cfg)
+                return
+            except WorkerDied:
+                # Died between lease and open: refresh and retry; the
+                # open itself dispatched no work, so this does not
+                # consume the shard's retry budget.
+                directives = ()
+                self._lease()
+
+    # ------------------------------------------------------------------
+    def command(self, run: _ShardRun, kind: str, si: int, size: int) -> None:
+        """Send a rung-loop command, recovering from a dead worker."""
+        run.pending = (kind, si, size)
+        run.phase = f"send {kind} (rung {si})"
+        try:
+            run.channel.send(kind, si, size)
+        except WorkerDied as failure:
+            # Recovery replays the shard and re-sends the pending
+            # command itself; nothing further to do here.
+            self._recover(run, failure)
+
+    def collect(self, run: _ShardRun, expected: str, si: "int | None" = None):
+        """Receive one expected reply, recovering from death/timeouts."""
+        run.phase = expected if si is None else f"{expected} (rung {si})"
+        while True:
+            # A recovery replay may already have collected this phase's
+            # reply from the replacement task (same bytes, by the
+            # determinism contract) — never recv it twice.
+            if expected == "sampled" and run.sampled is not _UNSET:
+                run.pending = None
+                return run.sampled
+            if expected == "observed" and run.observed is not _UNSET:
+                run.pending = None
+                return run.observed
+            try:
+                value = run.channel.recv(
+                    expected, si, timeout=self.task_timeout
+                )
+            except WorkerDied as failure:
+                self._recover(run, failure)
+                continue
+            if expected == "sampled":
+                run.sampled = value
+            elif expected == "observed":
+                run.observed = value
+            run.pending = None
+            return value
+
+    # ------------------------------------------------------------------
+    def _recover(self, run: _ShardRun, failure: WorkerDied) -> None:
+        """One recovery round: record, bound, condemn, re-open, replay."""
+        pid = getattr(failure, "pid", None)
+        if pid is None and run.channel is not None and run.channel.process:
+            pid = run.channel.process.pid
+        entry = {
+            "pid": pid,
+            "exitcode": getattr(failure, "exitcode", None),
+            "phase": run.phase,
+            "reason": str(failure),
+            "spill": read_spill(pid),
+            "timeout": isinstance(failure, WorkerHang),
+        }
+        run.retries.append(entry)
+        self.failover_log.append(dict(entry, slot=run.slot))
+        if len(run.retries) > self.max_retries:
+            raise WorkerFailure(run.slot, run.shard, run.retries) from failure
+        if run.channel is not None:
+            if isinstance(failure, WorkerHang):
+                # The worker may still be running (wedged): make sure it
+                # is gone before a lease could hand it out again.
+                run.channel.condemn()
+            run.channel.close()
+            run.channel = None
+        self._lease()
+        # Replacement attempts draw fresh directives from the fault
+        # plan: budgets decrement at issue time, so an armed
+        # ``times=N`` fault strikes at most N attempts (replacements
+        # included — how the exhaustion tests drain a retry budget)
+        # and recovery provably converges once the budget runs dry.
+        self._open(
+            run,
+            faults.take_worker_directives(run.slot) if self.handles else (),
+        )
+        try:
+            self._replay(run)
+        except WorkerDied as next_failure:
+            self._recover(run, next_failure)
+
+    def _replay(self, run: _ShardRun) -> None:
+        """Fast-forward a freshly opened replacement task.
+
+        Deterministic by the runtime contract: the replacement samples
+        the same replicates from the same seeds (or re-restores the
+        same checkpointed observations), rebuilds identical ladders,
+        and ``skip``-folds past every rung the parent already holds —
+        the same exact integer fold a checkpoint resume uses — so the
+        rows it will produce for the remaining rungs are byte-identical
+        to what the lost worker would have sent.
+        """
+        run.sampled = run.channel.recv(
+            "sampled", timeout=self.task_timeout
+        )
+        run.observed = run.channel.recv(
+            "observed", timeout=self.task_timeout
+        )
+        for si, size in run.progress:
+            run.channel.send("skip", si, size)
+            run.channel.recv("skipped", si, timeout=self.task_timeout)
+        if run.pending is not None:
+            run.channel.send(*run.pending)
+
+    # ------------------------------------------------------------------
+    def close_all(self) -> None:
+        for run in self.runs:
+            if run.channel is not None:
+                run.channel.close()
+
+
 class ProcessSweepExecutor:
     """Shared-memory multi-process sweep executor.
 
@@ -439,6 +793,16 @@ class ProcessSweepExecutor:
     pool:
         A :class:`~repro.runtime.pool.PersistentWorkerPool` to run on;
         ``None`` uses the process-wide default pool for ``mp_context``.
+    max_retries:
+        Failed attempts tolerated per shard beyond the first before a
+        structured :class:`~repro.runtime.pool.WorkerFailure` surfaces.
+        ``None`` defers to the ambient configuration
+        (``REPRO_MAX_RETRIES``; default 2).
+    task_timeout:
+        Heartbeat deadline in seconds distinguishing a stuck task from
+        a slow one (stuck tasks escalate through the retry path).
+        ``None`` defers to the ambient configuration
+        (``REPRO_TASK_TIMEOUT``; default: no timeout).
 
     Attributes
     ----------
@@ -447,6 +811,11 @@ class ProcessSweepExecutor:
         by the most recent run on this instance (``None`` without a
         checkpoint root). The plan scheduler reads its manifest key to
         record completed cells for substrate-free resume.
+    failover_log:
+        One dict per recovery event of the most recent run (shard
+        slot, pid, exitcode, phase, reason, spill, timeout flag) —
+        empty after an undisturbed run. Diagnostics only; the result
+        arrays are byte-identical either way.
     """
 
     name = "process"
@@ -458,6 +827,8 @@ class ProcessSweepExecutor:
         resume: bool = False,
         mp_context=None,
         pool=None,
+        max_retries: int | None = None,
+        task_timeout: float | None = None,
     ):
         if workers is not None and workers < 1:
             raise EstimationError(f"workers must be >= 1, got {workers}")
@@ -467,6 +838,24 @@ class ProcessSweepExecutor:
         self._mp_context = mp_context
         self._pool = pool
         self.last_checkpoint = None
+        self.failover_log: list[dict] = []
+        ambient = active_options()
+        if max_retries is None:
+            max_retries = ambient.max_retries
+        self.max_retries = (
+            DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries)
+        )
+        if self.max_retries < 0:
+            raise EstimationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if task_timeout is None:
+            task_timeout = ambient.task_timeout
+        self.task_timeout = (
+            float(task_timeout)
+            if task_timeout is not None and float(task_timeout) > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -708,12 +1097,6 @@ class ProcessSweepExecutor:
         shards = np.array_split(np.arange(replications), num_workers)
         want_observations = checkpoint is not None and observations is None
         worker_pool = self._pool or default_pool(self._mp_context)
-        handles = worker_pool.lease(num_workers)
-        if len(handles) != num_workers:  # pragma: no cover - lease contract
-            raise EstimationError(
-                f"worker pool leased {len(handles)} workers for "
-                f"{num_workers} shards"
-            )
 
         # Inside a plan run the ambient pool already holds the plan's
         # named resources (pre-published once per build by run_plan), so
@@ -728,15 +1111,18 @@ class ProcessSweepExecutor:
         # shared-memory footprint stays at the resources plus the cells
         # currently in flight.
         ambient = sharedmem.active_pool()
-        with sharedmem.SharedArrayPool() as local_pool:
+        with faults.env_scope(), sharedmem.SharedArrayPool() as local_pool:
             publish_pool = (
                 sharedmem.PoolChain(ambient, local_pool)
                 if ambient is not None
                 else local_pool
             )
-            tasks = []
+            driver = _FailoverDriver(
+                worker_pool, num_workers, self.max_retries, self.task_timeout
+            )
+            self.failover_log = driver.failover_log
             try:
-                for shard, handle in zip(shards, handles):
+                for slot, shard in enumerate(shards):
                     # One payload per shard, sliced to what that worker
                     # reads; large arrays still publish exactly once
                     # (the pool deduplicates by identity across shards,
@@ -763,23 +1149,32 @@ class ProcessSweepExecutor:
                         "want_observations": want_observations,
                         **make_cfg(shard),
                     }
-                    tasks.append(worker_pool.open_task(handle, payload, cfg))
+                    driver.open(_ShardRun(slot, shard, payload, cfg))
 
-                self._gather_samples(tasks, checkpoint, persist_samples)
-                self._gather_observations(tasks, checkpoint, want_observations)
+                runs = driver.runs
+                sampled = [driver.collect(run, "sampled") for run in runs]
+                if persist_samples and checkpoint is not None:
+                    nodes = np.concatenate([part[0] for part in sampled])
+                    node_weights = np.concatenate([part[1] for part in sampled])
+                    checkpoint.save_samples(nodes, node_weights)
+                observed = [driver.collect(run, "observed") for run in runs]
+                if want_observations and checkpoint is not None:
+                    checkpoint.save_observations(
+                        [fields for shard_obs in observed for fields in shard_obs]
+                    )
                 for si, size in enumerate(sizes):
                     size = int(size)
                     cached = cached_rungs.get(si)
                     if cached is not None:
-                        for task in tasks:
-                            task.send("skip", si, size)
-                        for task in tasks:
-                            task.recv("skipped", si)
+                        for run in runs:
+                            driver.command(run, "skip", si, size)
+                        for run in runs:
+                            driver.collect(run, "skipped", si)
                         self._fill(size_stacks, weight_stacks, si, cached)
                     else:
-                        for task in tasks:
-                            task.send("rung", si, size)
-                        rows = [task.recv("rows", si) for task in tasks]
+                        for run in runs:
+                            driver.command(run, "rung", si, size)
+                        rows = [driver.collect(run, "rows", si) for run in runs]
                         merged = tuple(
                             np.concatenate([shard_rows[f] for shard_rows in rows])
                             for f in range(4)
@@ -787,13 +1182,20 @@ class ProcessSweepExecutor:
                         self._fill(size_stacks, weight_stacks, si, merged)
                         if checkpoint is not None:
                             checkpoint.save_rung(si, size, merged)
+                    # Folded into every live ladder — what a replacement
+                    # task must skip past to catch up.
+                    for run in runs:
+                        run.progress.append((si, size))
             finally:
-                for task in tasks:
-                    task.close()
+                driver.close_all()
                 # Closing is ordered before retirement on each worker's
                 # connection, so by the time a worker releases these
                 # blocks its tasks (and their array views) are gone.
-                worker_pool.retire(handles, local_pool.block_names)
+                worker_pool.retire(driver.handles, local_pool.block_names)
+                # In-process fallback shards attach blocks in *this*
+                # process; drop those cached views before the pool
+                # unlinks the files (harmless when nothing attached).
+                sharedmem.release(local_pool.block_names)
 
         return _reduce_stacks(
             sizes, size_stacks, weight_stacks, truth, truth_mode
@@ -866,20 +1268,6 @@ class ProcessSweepExecutor:
             ],
         }
         return SweepCheckpoint(self.checkpoint_root, manifest, self.resume)
-
-    def _gather_samples(self, tasks, checkpoint, persist: bool) -> None:
-        collected = [task.recv("sampled") for task in tasks]
-        if persist and checkpoint is not None:
-            nodes = np.concatenate([part[0] for part in collected])
-            weights = np.concatenate([part[1] for part in collected])
-            checkpoint.save_samples(nodes, weights)
-
-    def _gather_observations(self, tasks, checkpoint, persist: bool) -> None:
-        collected = [task.recv("observed") for task in tasks]
-        if persist and checkpoint is not None:
-            checkpoint.save_observations(
-                [fields for shard in collected for fields in shard]
-            )
 
     @staticmethod
     def _fill(size_stacks, weight_stacks, si, rows) -> None:

@@ -46,18 +46,126 @@ from __future__ import annotations
 import atexit
 import os
 import queue
+import tempfile
 import threading
+import time
 import traceback
+from pathlib import Path
 
 from repro.exceptions import EstimationError
-from repro.runtime import sharedmem
+from repro.runtime import faults, sharedmem
 
 __all__ = [
     "PersistentWorkerPool",
     "TaskChannel",
+    "WorkerDied",
+    "WorkerFailure",
+    "WorkerHang",
+    "WorkerSpawnError",
     "default_pool",
+    "read_spill",
     "reset_default_pools",
 ]
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+class WorkerDied(EstimationError):
+    """A pool worker process exited while a task still needed it.
+
+    Subclasses :class:`~repro.exceptions.EstimationError` so callers
+    that predate the failover machinery keep catching worker loss; the
+    executor additionally recognizes the subclass and routes it through
+    the shard retry path instead of failing the sweep.
+    """
+
+    def __init__(self, message: str, *, pid=None, exitcode=None):
+        super().__init__(message)
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+class WorkerHang(WorkerDied):
+    """A task missed its heartbeat deadline (stuck, not merely slow).
+
+    Raised by :meth:`TaskChannel.recv` when ``REPRO_TASK_TIMEOUT`` (or
+    the executor's ``task_timeout``) elapses with neither a reply nor a
+    heartbeat. The worker process may still be alive but wedged; the
+    recovery path condemns it and re-dispatches the shard elsewhere.
+    """
+
+
+class WorkerSpawnError(EstimationError):
+    """The pool could not start a replacement (or initial) worker."""
+
+
+class WorkerFailure(EstimationError):
+    """A shard exhausted its retry budget; carries the full history.
+
+    The structured terminal error of the failover path: ``slot`` is the
+    shard's position in the sweep's shard split, ``replicates`` its
+    absolute replicate indices, and ``retries`` one dict per failed
+    attempt (``pid``/``exitcode``/``phase``/``reason``/``spill``).
+    """
+
+    def __init__(self, slot: int, replicates, retries: list):
+        self.slot = int(slot)
+        self.replicates = tuple(int(i) for i in replicates)
+        self.retries = list(retries)
+        span = (
+            f"replicates {self.replicates[0]}-{self.replicates[-1]}"
+            if self.replicates
+            else "no replicates"
+        )
+        attempts = "; ".join(
+            f"attempt {i}: pid {entry.get('pid')} "
+            f"exitcode {entry.get('exitcode')} during {entry.get('phase')} "
+            f"({entry.get('reason')})"
+            + (
+                f"\n  worker traceback:\n{entry['spill']}"
+                if entry.get("spill")
+                else ""
+            )
+            for i, entry in enumerate(self.retries, start=1)
+        )
+        super().__init__(
+            f"shard {self.slot} ({span}) failed after "
+            f"{max(len(self.retries) - 1, 0)} retries: {attempts}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Traceback spill files (the parent's view of a worker that died
+# before — or while — replying its error)
+# ----------------------------------------------------------------------
+def _spill_path(pid: int) -> Path:
+    return Path(tempfile.gettempdir()) / f"repro-worker-{pid}.traceback"
+
+
+def read_spill(pid, clear: bool = True) -> "str | None":
+    """The last traceback a (now dead) worker spilled, if any.
+
+    Workers persist a failing task's traceback to a per-pid spill file
+    *before* replying it, precisely because the reply pipe may already
+    be broken (the old silent-failure window): when the parent sees a
+    dead worker it reads — and by default clears — the spill so the
+    root cause survives into the retry history and the final
+    :class:`WorkerFailure` message.
+    """
+    if pid is None:
+        return None
+    path = _spill_path(pid)
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    if clear:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced cleanup
+            pass
+    return text or None
 
 
 def default_workers() -> int:
@@ -76,8 +184,37 @@ def preferred_context():
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+def _heartbeat_loop(task_id, reply, interval, done) -> None:
+    """Pulse ``("heartbeat",)`` until the task finishes (worker side).
+
+    A free-running thread: it keeps beating while the task computes a
+    long rung (slow is fine), and goes silent only when the *process*
+    is wedged or gone — which is exactly the distinction the parent's
+    ``recv`` timeout needs.
+    """
+    while not done.wait(interval):
+        try:
+            reply(task_id, "heartbeat")
+        except Exception:  # pragma: no cover - parent gone
+            return
+
+
 def _task_main(task_id, payload, cfg, commands, reply) -> None:
     """One shard task inside a worker: serve it, report errors by id."""
+    directives = tuple(map(tuple, cfg.get("faults") or ()))
+    if ("hang",) in directives:
+        # Simulated wedge: no replies, no heartbeats, thread never
+        # returns (daemon — dies with the condemned worker process).
+        while True:  # pragma: no cover - killed externally
+            time.sleep(60)
+    done = threading.Event()
+    interval = cfg.get("heartbeat")
+    if interval:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(task_id, reply, float(interval), done),
+            daemon=True,
+        ).start()
     try:
         from repro.runtime.executor import serve_shard
 
@@ -88,10 +225,21 @@ def _task_main(task_id, payload, cfg, commands, reply) -> None:
             lambda *parts: reply(task_id, *parts),
         )
     except BaseException:
+        text = traceback.format_exc()
+        # Spill first: if the reply pipe is already broken (or breaks
+        # mid-send) the traceback still reaches the parent via the
+        # spill file it reads on seeing the worker dead.
         try:
-            reply(task_id, "error", traceback.format_exc())
+            _spill_path(os.getpid()).write_text(text)
+        except OSError:  # pragma: no cover - unwritable tmpdir
+            pass
+        try:
+            reply(task_id, "error", text)
+            _spill_path(os.getpid()).unlink(missing_ok=True)
         except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
             pass
+    finally:
+        done.set()
 
 
 def _pool_worker_main(conn) -> None:
@@ -191,18 +339,22 @@ class _WorkerHandle:
                 self.conn.send(message)
             except (BrokenPipeError, OSError):
                 self.alive = False
-                raise EstimationError(
+                raise WorkerDied(
                     "sweep worker exited unexpectedly "
-                    f"(exitcode {self.process.exitcode})"
+                    f"(exitcode {self.process.exitcode})",
+                    pid=self.process.pid,
+                    exitcode=self.process.exitcode,
                 ) from None
 
     def register(self, task_id: int) -> queue.SimpleQueue:
         task_queue: queue.SimpleQueue = queue.SimpleQueue()
         with self._tasks_lock:
             if not self.alive:
-                raise EstimationError(
+                raise WorkerDied(
                     "sweep worker exited unexpectedly "
-                    f"(exitcode {self.process.exitcode})"
+                    f"(exitcode {self.process.exitcode})",
+                    pid=self.process.pid,
+                    exitcode=self.process.exitcode,
                 )
             self._task_queues[task_id] = task_queue
         return task_queue
@@ -211,6 +363,47 @@ class _WorkerHandle:
         with self._tasks_lock:
             self._task_queues.pop(task_id, None)
 
+    def condemn(self) -> None:
+        """Mark this worker unusable and kill its process (hang path).
+
+        A wedged worker still *looks* alive (the process exists, the
+        pipe is open); condemning it first means a concurrent lease can
+        never hand the dying worker out again, and the killed process's
+        reader-thread EOF then delivers ``_DEAD`` to its other tasks.
+        """
+        self.alive = False
+        try:
+            self.process.kill()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=5)
+
+
+def parse_reply(message, expected: str, rung_index: "int | None"):
+    """Validate one worker reply and strip it to its payload.
+
+    Shared by :class:`TaskChannel` and the executor's in-process
+    degradation channel, so both transports enforce the identical
+    protocol (``error`` replies stay immediately fatal — a
+    deterministic task exception would fail identically on every
+    retry, so it is never routed through the failover path).
+    """
+    if message[0] == "error":
+        raise EstimationError(f"sweep worker failed:\n{message[1]}")
+    if message[0] != expected or (
+        rung_index is not None and message[1] != rung_index
+    ):  # pragma: no cover - protocol misuse
+        raise EstimationError(
+            f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
+        )
+    if expected == "sampled":
+        return message[1:]
+    if expected == "rows":
+        return message[2]
+    if expected == "observed":
+        return message[1]
+    return None
+
 
 class TaskChannel:
     """Parent-side handle of one shard task running on a pool worker.
@@ -218,7 +411,10 @@ class TaskChannel:
     ``send``/``recv`` mirror the old one-pipe-per-worker protocol of
     the per-sweep executor, so the rung-loop driver code is unchanged;
     the channel just adds the task id on the way out and strips it on
-    the way back.
+    the way back. ``recv`` additionally understands heartbeats: with a
+    ``timeout``, every heartbeat from the task's worker resets the
+    deadline, so a *slow* rung never trips the timeout — only a worker
+    that stopped beating (wedged or dead) does.
     """
 
     def __init__(self, handle: _WorkerHandle, task_id: int):
@@ -235,28 +431,44 @@ class TaskChannel:
     def send(self, kind: str, *parts) -> None:
         self._handle.send((kind, self.task_id) + parts)
 
-    def recv(self, expected: str, rung_index: "int | None" = None):
-        message = self._queue.get()
-        if message is _DEAD:
-            raise EstimationError(
-                "sweep worker exited unexpectedly "
-                f"(exitcode {self._handle.process.exitcode})"
-            )
-        if message[0] == "error":
-            raise EstimationError(f"sweep worker failed:\n{message[1]}")
-        if message[0] != expected or (
-            rung_index is not None and message[1] != rung_index
-        ):  # pragma: no cover - protocol misuse
-            raise EstimationError(
-                f"unexpected worker reply {message[0]!r} (wanted {expected!r})"
-            )
-        if expected == "sampled":
-            return message[1:]
-        if expected == "rows":
-            return message[2]
-        if expected == "observed":
-            return message[1]
-        return None
+    def recv(
+        self,
+        expected: str,
+        rung_index: "int | None" = None,
+        timeout: "float | None" = None,
+    ):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if deadline is None:
+                    message = self._queue.get()
+                else:
+                    remaining = deadline - time.monotonic()
+                    message = self._queue.get(timeout=max(remaining, 0.001))
+            except queue.Empty:
+                raise WorkerHang(
+                    f"sweep worker sent no heartbeat for {timeout:.3g}s "
+                    f"while the parent waited for {expected!r} "
+                    f"(pid {self._handle.process.pid}): assuming it hung",
+                    pid=self._handle.process.pid,
+                    exitcode=self._handle.process.exitcode,
+                ) from None
+            if message is _DEAD:
+                raise WorkerDied(
+                    "sweep worker exited unexpectedly "
+                    f"(exitcode {self._handle.process.exitcode})",
+                    pid=self._handle.process.pid,
+                    exitcode=self._handle.process.exitcode,
+                )
+            if message[0] == "heartbeat":
+                if deadline is not None:
+                    deadline = time.monotonic() + timeout
+                continue
+            return parse_reply(message, expected, rung_index)
+
+    def condemn(self) -> None:
+        """Condemn the worker serving this task (see ``_WorkerHandle``)."""
+        self._handle.condemn()
 
     def close(self) -> None:
         """Tell the worker the task is finished; idempotent."""
@@ -304,11 +516,20 @@ class PersistentWorkerPool:
             )
 
     def _spawn(self) -> _WorkerHandle:
-        parent_conn, child_conn = self._ctx.Pipe()
-        process = self._ctx.Process(
-            target=_pool_worker_main, args=(child_conn,), daemon=True
-        )
-        process.start()
+        if faults.take("fail-respawn") is not None:
+            raise WorkerSpawnError(
+                "injected worker spawn failure (fail-respawn fault)"
+            )
+        try:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_pool_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+        except OSError as error:  # fork/pipe exhaustion
+            raise WorkerSpawnError(
+                f"could not spawn a sweep worker: {error}"
+            ) from error
         child_conn.close()
         return _WorkerHandle(process, parent_conn)
 
@@ -356,6 +577,39 @@ class PersistentWorkerPool:
             self._grow_locked(workers)
             return list(self._handles[:workers])
 
+    def lease_upto(self, workers: int) -> "list[_WorkerHandle]":
+        """Up to ``workers`` live workers, degrading instead of raising.
+
+        The failover path's lease: dead workers are pruned, replacements
+        are spawned best-effort, and a spawn failure returns whatever
+        live workers exist rather than propagating — the executor then
+        multiplexes its shards over the shorter list (and warns once).
+        Raises :class:`WorkerSpawnError` only when *no* worker can be
+        obtained at all; the executor's answer to that is the
+        in-process serial fallback.
+        """
+        with self._lock:
+            self._handles = [h for h in self._handles if h.alive]
+            spawn_error = None
+            if len(self._handles) < workers:
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:  # pragma: no cover - tracker internals
+                    pass
+            while len(self._handles) < workers:
+                try:
+                    self._handles.append(self._spawn())
+                except (WorkerSpawnError, OSError) as error:
+                    spawn_error = error
+                    break
+            if not self._handles:
+                raise WorkerSpawnError(
+                    f"could not obtain any sweep worker: {spawn_error}"
+                ) from spawn_error
+            return list(self._handles[:workers])
+
     def open_task(self, handle: _WorkerHandle, payload: bytes, cfg: dict) -> TaskChannel:
         """Start a shard task on ``handle`` and return its channel."""
         with self._lock:
@@ -370,7 +624,14 @@ class PersistentWorkerPool:
         return channel
 
     def retire(self, handles, block_names) -> None:
-        """Ask workers to drop their attachments to finished blocks."""
+        """Ask workers to drop their attachments to finished blocks.
+
+        A dead worker needs no message: its mappings vanished with the
+        process, and the *files* behind the blocks are owned (and
+        unlinked) by the parent-side pool that published them — so
+        worker death can never leak a ``/dev/shm`` entry, only delay
+        when a live worker unmaps it.
+        """
         if not block_names:
             return
         names = tuple(block_names)
@@ -410,6 +671,9 @@ class PersistentWorkerPool:
                 handle.process.terminate()
                 handle.process.join()
             handle.conn.close()
+            # A worker that died mid-error may have left a traceback
+            # spill nobody read (the sweep was already torn down).
+            read_spill(handle.process.pid)
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

@@ -43,10 +43,11 @@ workers, plus mid-plan kill/resume).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from repro.exceptions import EstimationError
-from repro.runtime import sharedmem
+from repro.runtime import faults, sharedmem
 from repro.runtime.executor import ProcessSweepExecutor, replay_sweep
 from repro.runtime.pool import default_pool
 
@@ -97,6 +98,21 @@ def run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
         Cell outputs keyed by cell key, in plan order — the caller
         applies ``finalize``.
     """
+    # The whole plan run is one fault-injection scope: a CI chaos job
+    # exporting REPRO_FAULTS exercises pool growth, every cell's drive
+    # loop, and every checkpoint write — while unit tests touching the
+    # checkpoint layer directly stay undisturbed.
+    with faults.env_scope():
+        return _run_plan_dag(
+            plan,
+            resources,
+            workers=workers,
+            plan_checkpoint=plan_checkpoint,
+            resume=resume,
+        )
+
+
+def _run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
     from repro.experiments.plan import SweepCell
 
     inflight = _inflight_limit()
@@ -132,8 +148,18 @@ def run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
         pool = default_pool()
         # Grow the pool before any driver thread exists: forking with
         # the plan's threads already running is where fork-vs-threads
-        # hazards live, so we don't.
-        pool.ensure(max(int(workers), 1))
+        # hazards live, so we don't. A pool that cannot grow is not
+        # fatal — each cell's executor degrades on its own (fewer
+        # workers, ultimately in-process serial) with identical output.
+        try:
+            pool.ensure(max(int(workers), 1))
+        except (EstimationError, OSError) as error:
+            warnings.warn(
+                f"plan scheduler could not grow the worker pool ({error}); "
+                "cells will degrade to whatever workers can be leased",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # Sized so every resource prefetch and every in-flight cell gets a
     # thread at once — a cell must never wait behind the very resource

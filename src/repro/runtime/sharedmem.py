@@ -132,6 +132,16 @@ class SharedArrayPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        # Safety net, not the contract: a pool abandoned without close()
+        # (a crashed driver, a test that errored before its finally)
+        # must not leak /dev/shm blocks past garbage collection. close()
+        # is idempotent, so the normal context-manager path is unaffected.
+        try:
+            self.close()
+        except Exception:
+            pass
+
 
 class PoolChain:
     """Publication view over a long-lived pool plus a short-lived one.

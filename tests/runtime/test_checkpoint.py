@@ -96,12 +96,22 @@ def test_killed_after_rung_k_resumes_bit_identically(world, serial, tmp_path):
 
 
 def test_resume_really_reads_the_checkpoint(world, serial, tmp_path):
-    """Tampered rung rows must surface in a resumed run's output."""
+    """Tampered rung rows (with a valid checksum) surface on resume.
+
+    The tamper re-stamps the payload checksum, modeling rows that were
+    *computed* differently rather than corrupted on disk — the one case
+    the integrity layer must NOT mask, or this test could pass with a
+    resume path that silently recomputes everything.
+    """
+    from repro.runtime.checkpoint import _payload_checksum
+
     _run(world, tmp_path)
     sweep_dir = next(tmp_path.glob("sweep-*"))
     path = sweep_dir / "rung_000.npz"
     data = dict(np.load(path))
+    data.pop("checksum")
     data["sizes_induced"] = data["sizes_induced"] + 1.0
+    data["checksum"] = np.asarray(_payload_checksum(data))
     np.savez(path, **data)
     tampered = _run(world, tmp_path, resume=True)
     assert not np.array_equal(
@@ -112,6 +122,28 @@ def test_resume_really_reads_the_checkpoint(world, serial, tmp_path):
     # A fresh (resume=False) run clears the directory and recomputes.
     fresh = _run(world, tmp_path, resume=False)
     assert_sweeps_equal(serial, fresh, "fresh run after tampering")
+
+
+def test_checksumless_rewrite_is_quarantined_and_recomputed(
+    world, serial, tmp_path
+):
+    """A rung file failing checksum verification degrades, not poisons.
+
+    Rewriting the rung without a checksum models on-disk corruption
+    (torn write, bit rot): the resumed run must quarantine the file as
+    ``*.corrupt``, recompute the rung, and still match serial exactly.
+    """
+    _run(world, tmp_path)
+    sweep_dir = next(tmp_path.glob("sweep-*"))
+    path = sweep_dir / "rung_000.npz"
+    data = dict(np.load(path))
+    data.pop("checksum")
+    data["sizes_induced"] = data["sizes_induced"] + 1.0
+    np.savez(path, **data)
+    resumed = _run(world, tmp_path, resume=True)
+    assert_sweeps_equal(serial, resumed, "resume past quarantined rung")
+    assert (sweep_dir / "rung_000.npz.corrupt").exists()
+    assert (sweep_dir / "rung_000.npz").exists(), "rung was not rewritten"
 
 
 def test_different_seeds_use_different_manifest_directories(world, tmp_path):
