@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.generators import gnm
 from repro.generators.planted import PlantedModelConfig, planted_category_graph
+from repro.graph.storage import active_storage_mode
 from repro.rng import derive_rng
 from repro.sampling import (
     MetropolisHastingsSampler,
@@ -180,8 +181,13 @@ def test_batched_sweep_speedup(preset, timing_asserts):
         speedup = ref_time / fast_time
         record["designs"][name] = {
             # Every entry self-describes how it executed, so rows from
-            # serial and multi-worker runs stay comparable across PRs.
-            "executor": {"mode": "serial", "workers": 1},
+            # serial, multi-worker, and out-of-core runs stay
+            # comparable across PRs.
+            "executor": {
+                "mode": "serial",
+                "workers": 1,
+                "storage": active_storage_mode(),
+            },
             "batched_incremental_seconds": round(fast_time, 4),
             "sequential_subset_seconds": round(ref_time, 4),
             "speedup_vs_reference": round(speedup, 2),
@@ -210,7 +216,11 @@ def test_batched_sweep_speedup(preset, timing_asserts):
             )
             speedup = single_time / par_time
             record["designs"][f"{name}@process-w{workers}"] = {
-                "executor": {"mode": "process", "workers": workers},
+                "executor": {
+                    "mode": "process",
+                    "workers": workers,
+                    "storage": active_storage_mode(),
+                },
                 "batched_incremental_seconds": round(par_time, 4),
                 "single_process_seconds": round(single_time, 4),
                 "speedup_vs_single_process": round(speedup, 2),

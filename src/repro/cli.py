@@ -195,6 +195,13 @@ def _runtime_scope(args):
     """The executor configuration implied by the parsed arguments."""
     from repro.runtime import runtime_options
 
+    if args.workers is not None and args.workers < 1:
+        # Same contract as the REPRO_WORKERS environment knob: reject
+        # non-positive counts here with a named error instead of letting
+        # them fail confusingly inside the process executor.
+        from repro.exceptions import EstimationError
+
+        raise EstimationError(f"--workers must be >= 1, got {args.workers}")
     wants_executor = (
         args.workers is not None or args.checkpoint is not None or args.resume
     )

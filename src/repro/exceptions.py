@@ -51,5 +51,14 @@ class GenerationError(ReproError):
     parameters (e.g. a k-regular graph with ``k >= n`` or odd ``n * k``)."""
 
 
+class StorageError(ReproError):
+    """Raised by the out-of-core graph storage plane.
+
+    Examples: opening a directory with no CSR manifest, a torn or
+    truncated manifest left behind by an interrupted build, or a plane
+    file whose checksum no longer matches its manifest entry.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by experiment drivers for invalid configurations."""

@@ -88,9 +88,7 @@ def compile_experiment(
 
 def _run(experiment_id: str):
     def run(preset: ScalePreset | None = None, rng: int = 0):
-        from repro.runtime.plan import run_plan
-
-        return run_plan(compile_experiment(experiment_id, preset=preset, rng=rng))
+        return run_experiment(experiment_id, preset=preset, rng=rng)
 
     return run
 
@@ -111,7 +109,21 @@ def run_experiment(
     preset: ScalePreset | None = None,
     rng: int = 0,
 ) -> dict[str, ExperimentResult]:
-    """Run one experiment by id; returns ``{result_id: result}``."""
+    """Run one experiment by id; returns ``{result_id: result}``.
+
+    A preset with ``graph_storage="memmap"`` (the ``web`` tier) runs
+    the whole plan under an out-of-core storage scope: substrate CSRs
+    build straight to disk and workers map the plane files. ``"ram"``
+    presets install no scope, so the ``REPRO_GRAPH_STORAGE``
+    environment knob still applies to them.
+    """
     from repro.runtime.plan import run_plan
 
-    return run_plan(compile_experiment(experiment_id, preset=preset, rng=rng))
+    resolved = preset if preset is not None else active_preset()
+    plan = compile_experiment(experiment_id, preset=resolved, rng=rng)
+    if resolved.graph_storage != "ram":
+        from repro.graph.storage import graph_storage
+
+        with graph_storage(resolved.graph_storage):
+            return run_plan(plan)
+    return run_plan(plan)

@@ -29,6 +29,7 @@ report both).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,9 +40,15 @@ from repro.graph.adjacency import Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.operations import connected_components
 from repro.graph.partition import CategoryPartition
+from repro.graph.storage import DEFAULT_CHUNK_ARCS, chunk_edges, edge_chunks
 from repro.rng import ensure_rng
 
-__all__ = ["FacebookModelConfig", "FacebookWorld", "build_facebook_world"]
+__all__ = [
+    "FacebookModelConfig",
+    "FacebookWorld",
+    "build_facebook_world",
+    "emit_arcs",
+]
 
 #: Synthetic country codes, ordered by continent blocks (the order *is*
 #: the geography: neighbors on the list are neighbors on the geo axis).
@@ -159,41 +166,59 @@ class FacebookWorld:
         }
 
 
-def build_facebook_world(
-    config: FacebookModelConfig | None = None,
-    rng: "np.random.Generator | int | None" = None,
-) -> FacebookWorld:
-    """Generate the synthetic world (graph + both category partitions)."""
-    cfg = config or FacebookModelConfig()
-    gen = ensure_rng(rng)
-    n = cfg.effective_users()
+class _WorldState:
+    """Mutable scratchpad threading the build stages together.
+
+    Holds everything the edge stream and the partition stage both need;
+    ``college_of_user`` / ``college_country`` are filled in *during*
+    the edge stream (college assignment is interleaved with the overlay
+    edges in RNG draw order).
+    """
+
+    __slots__ = (
+        "n",
+        "num_countries",
+        "country_position",
+        "region_country",
+        "region_position",
+        "latent_region",
+        "user_country",
+        "degrees",
+        "college_of_user",
+        "college_country",
+    )
+
+
+def _world_state(cfg: FacebookModelConfig, gen: np.random.Generator) -> _WorldState:
+    """Geography, latent regions, and degrees (pre-edge RNG stages)."""
+    state = _WorldState()
+    state.n = n = cfg.effective_users()
 
     # ------------------------------------------------------------------
     # Geography: countries with continent-blocked positions, regions
     # distributed US/CA-heavy (the paper's North-America county detail).
     # ------------------------------------------------------------------
-    num_countries = len(_COUNTRY_CODES)
-    country_position = np.array(
+    state.num_countries = len(_COUNTRY_CODES)
+    state.country_position = np.array(
         [
             _CONTINENT_OF[code] * 50.0 + i * 1.5
             for i, code in enumerate(_COUNTRY_CODES)
         ]
     )
-    region_country, region_position = _lay_out_regions(
-        cfg.num_regions, num_countries, country_position, gen
+    state.region_country, state.region_position = _lay_out_regions(
+        cfg.num_regions, state.num_countries, state.country_position, gen
     )
-    num_regions = len(region_country)
+    num_regions = len(state.region_country)
 
     # Latent region per user: Zipf over regions.
     region_weights = 1.0 / np.arange(1, num_regions + 1) ** cfg.region_zipf
     region_weights /= region_weights.sum()
-    latent_region = gen.choice(num_regions, size=n, p=region_weights).astype(np.int64)
-    user_country = region_country[latent_region]
+    state.latent_region = gen.choice(
+        num_regions, size=n, p=region_weights
+    ).astype(np.int64)
+    state.user_country = state.region_country[state.latent_region]
 
-    # ------------------------------------------------------------------
-    # Degrees and hierarchical stub matching.
-    # ------------------------------------------------------------------
-    degrees = power_law_degree_sequence(
+    state.degrees = power_law_degree_sequence(
         n,
         cfg.degree_exponent,
         mean_degree=cfg.mean_degree,
@@ -201,40 +226,63 @@ def build_facebook_world(
         d_max=min(n - 1, int(20 * cfg.mean_degree)),
         rng=gen,
     )
-    region_stubs = np.rint(degrees * cfg.region_stub_fraction).astype(np.int64)
-    country_stubs = np.rint(degrees * cfg.country_stub_fraction).astype(np.int64)
-    global_stubs = degrees - region_stubs - country_stubs
+    state.college_of_user = None
+    state.college_country = None
+    return state
+
+
+def _edge_blocks(
+    cfg: FacebookModelConfig, gen: np.random.Generator, state: _WorldState
+) -> Iterator[np.ndarray]:
+    """The world's construction edge blocks, in RNG draw order.
+
+    Hierarchical stub matching (region / country / global) followed by
+    the college overlay; college assignment happens between the global
+    block and the overlay block, exactly where the one-shot build drew
+    those numbers.
+    """
+    n = state.n
+    region_stubs = np.rint(state.degrees * cfg.region_stub_fraction).astype(np.int64)
+    country_stubs = np.rint(state.degrees * cfg.country_stub_fraction).astype(np.int64)
+    global_stubs = state.degrees - region_stubs - country_stubs
+
+    yield _pair_grouped(state.latent_region, region_stubs, gen)
+    yield _pair_geo_sorted(
+        state.user_country,
+        country_stubs,
+        positions=state.region_position[state.latent_region],
+        noise_scale=1.0,
+        gen=gen,
+    )
+    yield _pair_geo_sorted(
+        np.zeros(n, dtype=np.int64),  # one global group
+        global_stubs,
+        positions=state.country_position[state.user_country],
+        noise_scale=40.0,
+        gen=gen,
+    )
+
+    # Colleges: localized memberships + dense intra-college overlay.
+    state.college_of_user, state.college_country = _assign_colleges(
+        cfg, n, state.user_country, state.num_countries, gen
+    )
+    yield _college_overlay(state.college_of_user, cfg, gen)
+
+
+def build_facebook_world(
+    config: FacebookModelConfig | None = None,
+    rng: "np.random.Generator | int | None" = None,
+) -> FacebookWorld:
+    """Generate the synthetic world (graph + both category partitions)."""
+    cfg = config or FacebookModelConfig()
+    gen = ensure_rng(rng)
+    state = _world_state(cfg, gen)
+    n = state.n
+    num_regions = len(state.region_country)
 
     builder = GraphBuilder(n)
-    builder.add_edges(
-        _pair_grouped(latent_region, region_stubs, gen)
-    )
-    builder.add_edges(
-        _pair_geo_sorted(
-            user_country,
-            country_stubs,
-            positions=region_position[latent_region],
-            noise_scale=1.0,
-            gen=gen,
-        )
-    )
-    builder.add_edges(
-        _pair_geo_sorted(
-            np.zeros(n, dtype=np.int64),  # one global group
-            global_stubs,
-            positions=country_position[user_country],
-            noise_scale=40.0,
-            gen=gen,
-        )
-    )
-
-    # ------------------------------------------------------------------
-    # Colleges: localized memberships + dense intra-college overlay.
-    # ------------------------------------------------------------------
-    college_of_user, college_country = _assign_colleges(
-        cfg, n, user_country, num_countries, gen
-    )
-    builder.add_edges(_college_overlay(college_of_user, cfg, gen))
+    for block in _edge_blocks(cfg, gen, state):
+        builder.add_edges(block)
 
     graph = builder.build()
     graph = _bridge_to_giant(graph, gen)
@@ -243,17 +291,21 @@ def build_facebook_world(
     # Category partitions.
     # ------------------------------------------------------------------
     declared = gen.random(n) < cfg.declared_fraction
-    region_labels = np.where(declared, latent_region, num_regions).astype(np.int64)
+    region_labels = np.where(
+        declared, state.latent_region, num_regions
+    ).astype(np.int64)
     region_names = [
-        f"{_COUNTRY_CODES[region_country[r]]}.r{r}" for r in range(num_regions)
+        f"{_COUNTRY_CODES[state.region_country[r]]}.r{r}"
+        for r in range(num_regions)
     ] + ["Undeclared"]
     regions_2009 = CategoryPartition(
         region_labels, names=region_names, num_categories=num_regions + 1
     )
 
+    college_country = state.college_country
     num_colleges = int(college_country.shape[0])
     college_labels = np.where(
-        college_of_user >= 0, college_of_user, num_colleges
+        state.college_of_user >= 0, state.college_of_user, num_colleges
     ).astype(np.int64)
     college_names = [
         f"College{g}_{_COUNTRY_CODES[college_country[g]]}" for g in range(num_colleges)
@@ -266,13 +318,46 @@ def build_facebook_world(
         graph=graph,
         regions_2009=regions_2009,
         colleges_2010=colleges_2010,
-        latent_region=latent_region,
-        region_country=region_country,
-        region_position=region_position,
+        latent_region=state.latent_region,
+        region_country=state.region_country,
+        region_position=state.region_position,
         country_names=_COUNTRY_CODES,
         college_country=college_country,
         config=cfg,
     )
+
+
+def emit_arcs(
+    config: FacebookModelConfig | None = None,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    rng: "np.random.Generator | int | None" = None,
+) -> Iterator[np.ndarray]:
+    """Stream the friendship graph's edges in blocks of ``chunk_size``.
+
+    A graph built from the emitted chunks equals
+    ``build_facebook_world(config, rng).graph`` bit-for-bit for the
+    same seed; the partitions are not part of the stream. A shadow
+    builder assembles the graph alongside the stream to locate the
+    bridge edges that connect stray components — under an active
+    ``memmap`` storage scope that shadow build spills to disk like any
+    other, keeping peak memory bounded.
+    """
+    cfg = config or FacebookModelConfig()
+    gen = ensure_rng(rng)
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    def stream() -> Iterator[np.ndarray]:
+        state = _world_state(cfg, gen)
+        shadow = GraphBuilder(state.n)
+        for block in _edge_blocks(cfg, gen, state):
+            shadow.add_edges(block)
+            yield from chunk_edges(block, chunk_size)
+        extra = _stray_bridges(shadow.build(), gen)
+        if len(extra):
+            yield from chunk_edges(extra, chunk_size)
+
+    return stream()
 
 
 # ----------------------------------------------------------------------
@@ -423,12 +508,12 @@ def _college_overlay(
     return np.concatenate(edges)
 
 
-def _bridge_to_giant(graph: Graph, gen: np.random.Generator) -> Graph:
-    """Attach stray components to the giant one (walkers need connectivity)."""
+def _stray_bridges(graph: Graph, gen: np.random.Generator) -> np.ndarray:
+    """One random edge from each stray component to the giant one."""
     comp = connected_components(graph)
     num_components = int(comp.max()) + 1 if len(comp) else 0
     if num_components <= 1:
-        return graph
+        return np.empty((0, 2), dtype=np.int64)
     counts = np.bincount(comp)
     giant = int(np.argmax(counts))
     giant_nodes = np.flatnonzero(comp == giant)
@@ -440,7 +525,18 @@ def _bridge_to_giant(graph: Graph, gen: np.random.Generator) -> Graph:
         u = int(members[gen.integers(0, len(members))])
         v = int(giant_nodes[gen.integers(0, len(giant_nodes))])
         extra.append((u, v))
+    return np.asarray(extra, dtype=np.int64)
+
+
+def _bridge_to_giant(graph: Graph, gen: np.random.Generator) -> Graph:
+    """Attach stray components to the giant one (walkers need connectivity)."""
+    extra = _stray_bridges(graph, gen)
+    if not len(extra):
+        return graph
     builder = GraphBuilder(graph.num_nodes)
-    builder.add_edges(graph.edge_array())
-    builder.add_edges(np.asarray(extra, dtype=np.int64))
+    # Windowed re-add instead of one O(|E|) edge_array materialization,
+    # so the rebuild stays bounded under a memmap storage scope.
+    for chunk in edge_chunks(graph):
+        builder.add_edges(chunk)
+    builder.add_edges(extra)
     return builder.build()

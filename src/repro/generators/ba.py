@@ -7,13 +7,61 @@ examples.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro.exceptions import GenerationError
 from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.storage import DEFAULT_CHUNK_ARCS
 from repro.rng import ensure_rng
 
-__all__ = ["barabasi_albert_graph"]
+__all__ = ["barabasi_albert_graph", "emit_ba_arcs"]
+
+
+def emit_ba_arcs(
+    n: int,
+    m: int,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream BA attachment edges in blocks of at most ``chunk_size``.
+
+    The stub list is O(n * m) and inherent to preferential attachment;
+    what streaming bounds is the *edge buffer*, which never exceeds
+    ``chunk_size`` rows. Consuming the whole stream performs exactly
+    the same RNG draws as :func:`barabasi_albert_graph`.
+    """
+    gen = ensure_rng(rng)
+    if m < 1:
+        raise GenerationError(f"m must be at least 1, got {m}")
+    if n <= m:
+        raise GenerationError(f"need n > m, got n={n}, m={m}")
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return _ba_blocks(n, m, chunk_size, gen)
+
+
+def _ba_blocks(
+    n: int, m: int, chunk_size: int, gen: np.random.Generator
+) -> Iterator[np.ndarray]:
+    # Seed: a star on m + 1 nodes (connected, every node has degree >= 1).
+    buffer: list[tuple[int, int]] = [(i, m) for i in range(m)]
+    stubs: list[int] = [i for e in buffer for i in e]
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(stubs[int(gen.integers(0, len(stubs)))])
+        for t in targets:
+            buffer.append((new, t))
+            stubs.append(new)
+            stubs.append(t)
+        if len(buffer) >= chunk_size:
+            yield np.asarray(buffer, dtype=np.int64)
+            buffer = []
+    if buffer:
+        yield np.asarray(buffer, dtype=np.int64)
 
 
 def barabasi_albert_graph(
@@ -25,20 +73,7 @@ def barabasi_albert_graph(
     the repeated-nodes trick (sampling from the flat stub list), which
     is exact and O(n * m).
     """
-    gen = ensure_rng(rng)
-    if m < 1:
-        raise GenerationError(f"m must be at least 1, got {m}")
-    if n <= m:
-        raise GenerationError(f"need n > m, got n={n}, m={m}")
-    # Seed: a star on m + 1 nodes (connected, every node has degree >= 1).
-    edges: list[tuple[int, int]] = [(i, m) for i in range(m)]
-    stubs: list[int] = [i for e in edges for i in e]
-    for new in range(m + 1, n):
-        targets: set[int] = set()
-        while len(targets) < m:
-            targets.add(stubs[int(gen.integers(0, len(stubs)))])
-        for t in targets:
-            edges.append((new, t))
-            stubs.append(new)
-            stubs.append(t)
-    return Graph.from_edges(n, np.asarray(edges, dtype=np.int64))
+    builder = GraphBuilder(n)
+    for chunk in emit_ba_arcs(n, m, rng=rng):
+        builder.add_edges(chunk)
+    return builder.build()

@@ -1,33 +1,65 @@
-"""Erdos-Renyi random graphs: G(n, p) and G(n, m)."""
+"""Erdos-Renyi random graphs: G(n, p) and G(n, m).
+
+Each generator has two faces sharing one RNG trace: the classic
+``gnp``/``gnm`` returning a built :class:`Graph`, and a chunked
+``emit_gnp_arcs``/``emit_gnm_arcs`` yielding bounded edge blocks for the
+out-of-core builders in :mod:`repro.graph.storage`. The one-shot
+functions are implemented *on top of* the emit paths, so for the same
+seed both faces draw the same random numbers and describe the same edge
+set — a graph streamed to disk is bit-identical to one built in RAM.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Iterator
 
 import numpy as np
 
 from repro.exceptions import GenerationError
 from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.storage import DEFAULT_CHUNK_ARCS, chunk_edges
 from repro.rng import ensure_rng
 
-__all__ = ["gnp", "gnm", "random_cross_edges"]
+__all__ = ["gnp", "gnm", "emit_gnp_arcs", "emit_gnm_arcs", "random_cross_edges"]
 
 
-def gnp(n: int, p: float, rng: np.random.Generator | int | None = None) -> Graph:
-    """G(n, p): each of the ``n(n-1)/2`` pairs is an edge with prob. ``p``.
+def emit_gnp_arcs(
+    n: int,
+    p: float,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream the edges of a G(n, p) draw in blocks of ``chunk_size``.
 
-    Uses geometric skipping, so the cost is O(n + |E|) rather than O(n^2).
+    Peak memory is O(chunk_size) regardless of ``|E|``: chosen pair
+    ranks are buffered and unranked one block at a time. Consuming the
+    whole stream performs exactly the same RNG draws as :func:`gnp`.
     """
     gen = ensure_rng(rng)
     if not 0.0 <= p <= 1.0:
         raise GenerationError(f"p must be in [0, 1], got {p}")
     if n < 0:
         raise GenerationError(f"n must be non-negative, got {n}")
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return _gnp_blocks(n, p, chunk_size, gen)
+
+
+def _gnp_blocks(
+    n: int, p: float, chunk_size: int, gen: np.random.Generator
+) -> Iterator[np.ndarray]:
     if n < 2 or p == 0.0:
-        return Graph.empty(n)
+        return
     total_pairs = n * (n - 1) // 2
     if p == 1.0:
         rows, cols = np.triu_indices(n, k=1)
-        return Graph.from_edges(n, np.column_stack((rows, cols)))
-    # Sample the flat indices of chosen pairs by geometric gap skipping.
+        yield from chunk_edges(
+            np.column_stack((rows, cols)).astype(np.int64), chunk_size
+        )
+        return
+    # Sample the flat indices of chosen pairs by geometric gap skipping,
+    # flushing each buffer-full of ranks as an unranked edge block.
     chosen: list[int] = []
     log_q = np.log1p(-p)
     position = -1
@@ -37,15 +69,33 @@ def gnp(n: int, p: float, rng: np.random.Generator | int | None = None) -> Graph
         if position >= total_pairs:
             break
         chosen.append(position)
-    if not chosen:
-        return Graph.empty(n)
-    flat = np.asarray(chosen, dtype=np.int64)
-    rows, cols = _unrank_pairs(flat, n)
-    return Graph.from_edges(n, np.column_stack((rows, cols)))
+        if len(chosen) >= chunk_size:
+            yield _edges_from_flat(np.asarray(chosen, dtype=np.int64), n)
+            chosen = []
+    if chosen:
+        yield _edges_from_flat(np.asarray(chosen, dtype=np.int64), n)
 
 
-def gnm(n: int, m: int, rng: np.random.Generator | int | None = None) -> Graph:
-    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+def gnp(n: int, p: float, rng: np.random.Generator | int | None = None) -> Graph:
+    """G(n, p): each of the ``n(n-1)/2`` pairs is an edge with prob. ``p``.
+
+    Uses geometric skipping, so the cost is O(n + |E|) rather than O(n^2).
+    """
+    return _consume(n, emit_gnp_arcs(n, p, rng=rng))
+
+
+def emit_gnm_arcs(
+    n: int,
+    m: int,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream the edges of a G(n, m) draw in blocks of ``chunk_size``.
+
+    The ``m`` distinct pair ranks are materialized (inherent to
+    sampling without replacement) but unranked and emitted one block at
+    a time. Same RNG trace as :func:`gnm`.
+    """
     gen = ensure_rng(rng)
     if n < 0:
         raise GenerationError(f"n must be non-negative, got {n}")
@@ -54,24 +104,54 @@ def gnm(n: int, m: int, rng: np.random.Generator | int | None = None) -> Graph:
         raise GenerationError(
             f"m must be in [0, {total_pairs}] for n={n}, got {m}"
         )
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return _gnm_blocks(n, m, total_pairs, chunk_size, gen)
+
+
+def _gnm_blocks(
+    n: int, m: int, total_pairs: int, chunk_size: int, gen: np.random.Generator
+) -> Iterator[np.ndarray]:
     if m == 0:
-        return Graph.empty(n)
+        return
+    flat = _gnm_flat(m, total_pairs, gen)
+    for start in range(0, m, chunk_size):
+        yield _edges_from_flat(flat[start : start + chunk_size], n)
+
+
+def _gnm_flat(m: int, total_pairs: int, gen: np.random.Generator) -> np.ndarray:
+    """``m`` distinct flat pair ranks (the shared G(n, m) sampling core)."""
     if total_pairs <= 4 * m:
         # Dense regime: permute all pair indices.
-        flat = gen.permutation(total_pairs)[:m].astype(np.int64)
-    else:
-        # Sparse regime: rejection sample distinct flat indices.
-        seen: set[int] = set()
-        while len(seen) < m:
-            needed = m - len(seen)
-            draws = gen.integers(0, total_pairs, size=2 * needed + 8)
-            for d in draws:
-                seen.add(int(d))
-                if len(seen) == m:
-                    break
-        flat = np.fromiter(seen, dtype=np.int64, count=m)
+        return gen.permutation(total_pairs)[:m].astype(np.int64)
+    # Sparse regime: rejection sample distinct flat indices.
+    seen: set[int] = set()
+    while len(seen) < m:
+        needed = m - len(seen)
+        draws = gen.integers(0, total_pairs, size=2 * needed + 8)
+        for d in draws:
+            seen.add(int(d))
+            if len(seen) == m:
+                break
+    return np.fromiter(seen, dtype=np.int64, count=m)
+
+
+def gnm(n: int, m: int, rng: np.random.Generator | int | None = None) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    return _consume(n, emit_gnm_arcs(n, m, rng=rng))
+
+
+def _edges_from_flat(flat: np.ndarray, n: int) -> np.ndarray:
     rows, cols = _unrank_pairs(flat, n)
-    return Graph.from_edges(n, np.column_stack((rows, cols)))
+    return np.column_stack((rows, cols))
+
+
+def _consume(n: int, chunks: Iterator[np.ndarray]) -> Graph:
+    """Build a graph from an emit stream (storage-mode aware)."""
+    builder = GraphBuilder(n)
+    for chunk in chunks:
+        builder.add_edges(chunk)
+    return builder.build()
 
 
 def random_cross_edges(

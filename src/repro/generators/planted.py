@@ -22,6 +22,7 @@ not be).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,9 +33,15 @@ from repro.graph.adjacency import Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.operations import connected_components
 from repro.graph.partition import CategoryPartition
+from repro.graph.storage import DEFAULT_CHUNK_ARCS, chunk_edges, edge_chunks
 from repro.rng import ensure_rng
 
-__all__ = ["PAPER_CATEGORY_SIZES", "PlantedModelConfig", "planted_category_graph"]
+__all__ = [
+    "PAPER_CATEGORY_SIZES",
+    "PlantedModelConfig",
+    "emit_planted_arcs",
+    "planted_category_graph",
+]
 
 #: The 10 category sizes of Section 6.2.1 (sum = 88 850).
 PAPER_CATEGORY_SIZES: tuple[int, ...] = (
@@ -90,6 +97,37 @@ class PlantedModelConfig:
         return sum(self.effective_sizes())
 
 
+def _resolve_config(
+    config: PlantedModelConfig | None,
+    *,
+    k: int | None = None,
+    alpha: float | None = None,
+    sizes: tuple[int, ...] | None = None,
+    scale: int | None = None,
+) -> PlantedModelConfig:
+    """Merge keyword overrides into a config (shared by both faces)."""
+    base = config or PlantedModelConfig()
+    overrides: dict = {}
+    if k is not None:
+        overrides["k"] = k
+    if alpha is not None:
+        overrides["alpha"] = alpha
+    if sizes is not None:
+        overrides["sizes"] = tuple(sizes)
+    if scale is not None:
+        overrides["scale"] = scale
+    if overrides:
+        base = PlantedModelConfig(
+            sizes=overrides.get("sizes", base.sizes),
+            k=overrides.get("k", base.k),
+            alpha=overrides.get("alpha", base.alpha),
+            inter_edge_fraction=base.inter_edge_fraction,
+            scale=overrides.get("scale", base.scale),
+            connect=base.connect,
+        )
+    return base
+
+
 def planted_category_graph(
     config: PlantedModelConfig | None = None,
     *,
@@ -111,51 +149,94 @@ def planted_category_graph(
     >>> partition.num_categories
     10
     """
-    base = config or PlantedModelConfig()
-    overrides: dict = {}
-    if k is not None:
-        overrides["k"] = k
-    if alpha is not None:
-        overrides["alpha"] = alpha
-    if sizes is not None:
-        overrides["sizes"] = tuple(sizes)
-    if scale is not None:
-        overrides["scale"] = scale
-    if overrides:
-        base = PlantedModelConfig(
-            sizes=overrides.get("sizes", base.sizes),
-            k=overrides.get("k", base.k),
-            alpha=overrides.get("alpha", base.alpha),
-            inter_edge_fraction=base.inter_edge_fraction,
-            scale=overrides.get("scale", base.scale),
-            connect=base.connect,
-        )
+    base = _resolve_config(config, k=k, alpha=alpha, sizes=sizes, scale=scale)
     return _generate(base, ensure_rng(rng))
 
 
-def _generate(
-    config: PlantedModelConfig, gen: np.random.Generator
-) -> tuple[Graph, CategoryPartition]:
+def emit_planted_arcs(
+    config: PlantedModelConfig | None = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    k: int | None = None,
+    alpha: float | None = None,
+    sizes: tuple[int, ...] | None = None,
+    scale: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream the Section 6.2.1 model's edges in blocks of ``chunk_size``.
+
+    A graph built from the emitted chunks equals
+    ``planted_category_graph(...)[0]`` bit-for-bit for the same seed
+    (the category partition is not part of the stream — rebuild it from
+    the config when needed). When ``connect`` is set, a shadow builder
+    assembles the graph alongside the stream to locate stray components
+    and the bridge edges are appended as the final chunks; under an
+    active ``memmap`` storage scope that shadow build spills to disk
+    like any other, so peak memory stays bounded.
+    """
+    base = _resolve_config(config, k=k, alpha=alpha, sizes=sizes, scale=scale)
+    gen = ensure_rng(rng)
+    _validate(base)
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    def stream() -> Iterator[np.ndarray]:
+        eff = base.effective_sizes()
+        n = sum(eff)
+        starts = np.concatenate(([0], np.cumsum(eff))).astype(np.int64)
+        labels = np.repeat(np.arange(len(eff), dtype=np.int64), eff)
+        shadow = GraphBuilder(n) if base.connect else None
+        for block in _construction_blocks(base, eff, starts, labels, gen):
+            if shadow is not None:
+                shadow.add_edges(block)
+            yield from chunk_edges(block, chunk_size)
+        if shadow is not None:
+            extra = _bridge_edges(shadow.build(), gen)
+            if len(extra):
+                yield from chunk_edges(extra, chunk_size)
+
+    return stream()
+
+
+def _validate(config: PlantedModelConfig) -> None:
     if config.k < 1:
         raise GenerationError(f"k must be positive, got {config.k}")
     if not 0.0 <= config.alpha <= 1.0:
         raise GenerationError(f"alpha must be in [0, 1], got {config.alpha}")
     if config.inter_edge_fraction < 0:
         raise GenerationError("inter_edge_fraction must be non-negative")
+
+
+def _construction_blocks(
+    config: PlantedModelConfig,
+    sizes: tuple[int, ...],
+    starts: np.ndarray,
+    labels: np.ndarray,
+    gen: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    """The model's raw edge blocks (pre-bridging), in RNG draw order."""
+    # 1. Intra-category k-regular random graphs.
+    for idx, size in enumerate(sizes):
+        edges = random_regular_edges(size, config.k, rng=gen)
+        yield edges + starts[idx]
+    # 2. N * k * fraction random edges between different categories.
+    n = int(starts[-1])
+    inter_count = int(round(n * config.k * config.inter_edge_fraction))
+    yield _inter_category_edges(labels, inter_count, gen)
+
+
+def _generate(
+    config: PlantedModelConfig, gen: np.random.Generator
+) -> tuple[Graph, CategoryPartition]:
+    _validate(config)
     sizes = config.effective_sizes()
     n = sum(sizes)
     builder = GraphBuilder(n)
     starts = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
-
-    # 1. Intra-category k-regular random graphs.
-    for idx, size in enumerate(sizes):
-        edges = random_regular_edges(size, config.k, rng=gen)
-        builder.add_edges(edges + starts[idx])
-
-    # 2. N * k * fraction random edges between different categories.
     labels = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
-    inter_count = int(round(n * config.k * config.inter_edge_fraction))
-    builder.add_edges(_inter_category_edges(labels, inter_count, gen))
+
+    for block in _construction_blocks(config, sizes, starts, labels, gen):
+        builder.add_edges(block)
 
     graph = builder.build()
 
@@ -212,12 +293,12 @@ def _inter_category_edges(
     return out
 
 
-def _bridge_components(graph: Graph, gen: np.random.Generator) -> Graph:
-    """Connect stray components to the giant one with single random edges."""
+def _bridge_edges(graph: Graph, gen: np.random.Generator) -> np.ndarray:
+    """One random edge from each stray component to the giant one."""
     comp = connected_components(graph)
     num_components = int(comp.max()) + 1 if len(comp) else 0
     if num_components <= 1:
-        return graph
+        return np.empty((0, 2), dtype=np.int64)
     counts = np.bincount(comp)
     giant = int(np.argmax(counts))
     giant_nodes = np.flatnonzero(comp == giant)
@@ -229,7 +310,19 @@ def _bridge_components(graph: Graph, gen: np.random.Generator) -> Graph:
         u = int(members[gen.integers(0, len(members))])
         v = int(giant_nodes[gen.integers(0, len(giant_nodes))])
         extra.append((u, v))
+    return np.asarray(extra, dtype=np.int64)
+
+
+def _bridge_components(graph: Graph, gen: np.random.Generator) -> Graph:
+    """Connect stray components to the giant one with single random edges."""
+    extra = _bridge_edges(graph, gen)
+    if not len(extra):
+        return graph
     builder = GraphBuilder(graph.num_nodes)
-    builder.add_edges(graph.edge_array())
-    builder.add_edges(np.asarray(extra, dtype=np.int64))
+    # Re-add the existing edges in bounded windows rather than through
+    # one O(|E|) edge_array materialization — under a memmap storage
+    # scope this keeps the rebuild's peak memory at the chunk size.
+    for chunk in edge_chunks(graph):
+        builder.add_edges(chunk)
+    builder.add_edges(extra)
     return builder.build()

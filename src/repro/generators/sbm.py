@@ -8,7 +8,7 @@ related but distinct construction in :mod:`repro.generators.planted`.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -16,9 +16,60 @@ from repro.exceptions import GenerationError
 from repro.graph.adjacency import Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import CategoryPartition
+from repro.graph.storage import DEFAULT_CHUNK_ARCS, chunk_edges
 from repro.rng import ensure_rng
 
-__all__ = ["stochastic_block_model", "planted_partition_graph"]
+__all__ = ["stochastic_block_model", "emit_sbm_arcs", "planted_partition_graph"]
+
+
+def _validated_sizes_probs(
+    sizes: Sequence[int], prob_matrix: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    if len(sizes_arr) == 0 or sizes_arr.min() <= 0:
+        raise GenerationError("block sizes must be positive")
+    prob_matrix = np.asarray(prob_matrix, dtype=float)
+    c = len(sizes_arr)
+    if prob_matrix.shape != (c, c):
+        raise GenerationError(
+            f"prob_matrix must be ({c}, {c}), got {prob_matrix.shape}"
+        )
+    if not np.allclose(prob_matrix, prob_matrix.T):
+        raise GenerationError("prob_matrix must be symmetric")
+    if prob_matrix.min() < 0 or prob_matrix.max() > 1:
+        raise GenerationError("probabilities must lie in [0, 1]")
+    return sizes_arr, prob_matrix
+
+
+def _sbm_blocks(
+    sizes_arr: np.ndarray, prob_matrix: np.ndarray, gen: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """One edge array per non-empty block pair, in (a, a) / (a, b) order."""
+    c = len(sizes_arr)
+    starts = np.concatenate(([0], np.cumsum(sizes_arr)))
+    for a in range(c):
+        na = int(sizes_arr[a])
+        # Intra-block: G(na, p) pairs.
+        p = float(prob_matrix[a, a])
+        total_pairs = na * (na - 1) // 2
+        if p > 0 and total_pairs > 0:
+            count = int(gen.binomial(total_pairs, p))
+            flat = gen.choice(total_pairs, size=min(count, total_pairs), replace=False)
+            rows, cols = _unrank_block_pairs(flat.astype(np.int64), na)
+            yield np.column_stack((rows + starts[a], cols + starts[a]))
+        for b in range(a + 1, c):
+            p = float(prob_matrix[a, b])
+            nb = int(sizes_arr[b])
+            total = na * nb
+            if p == 0 or total == 0:
+                continue
+            count = int(gen.binomial(total, p))
+            flat = gen.choice(total, size=min(count, total), replace=False).astype(
+                np.int64
+            )
+            rows = flat // nb + starts[a]
+            cols = flat % nb + starts[b]
+            yield np.column_stack((rows, cols))
 
 
 def stochastic_block_model(
@@ -35,50 +86,37 @@ def stochastic_block_model(
     placement, so sparse blocks cost O(edges), not O(pairs).
     """
     gen = ensure_rng(rng)
-    sizes_arr = np.asarray(sizes, dtype=np.int64)
-    if len(sizes_arr) == 0 or sizes_arr.min() <= 0:
-        raise GenerationError("block sizes must be positive")
-    prob_matrix = np.asarray(prob_matrix, dtype=float)
-    c = len(sizes_arr)
-    if prob_matrix.shape != (c, c):
-        raise GenerationError(
-            f"prob_matrix must be ({c}, {c}), got {prob_matrix.shape}"
-        )
-    if not np.allclose(prob_matrix, prob_matrix.T):
-        raise GenerationError("prob_matrix must be symmetric")
-    if prob_matrix.min() < 0 or prob_matrix.max() > 1:
-        raise GenerationError("probabilities must lie in [0, 1]")
-
+    sizes_arr, prob_matrix = _validated_sizes_probs(sizes, prob_matrix)
     n = int(sizes_arr.sum())
-    starts = np.concatenate(([0], np.cumsum(sizes_arr)))
     builder = GraphBuilder(n)
-    for a in range(c):
-        na = int(sizes_arr[a])
-        # Intra-block: G(na, p) pairs.
-        p = float(prob_matrix[a, a])
-        total_pairs = na * (na - 1) // 2
-        if p > 0 and total_pairs > 0:
-            count = int(gen.binomial(total_pairs, p))
-            flat = gen.choice(total_pairs, size=min(count, total_pairs), replace=False)
-            rows, cols = _unrank_block_pairs(flat.astype(np.int64), na)
-            builder.add_edges(
-                np.column_stack((rows + starts[a], cols + starts[a]))
-            )
-        for b in range(a + 1, c):
-            p = float(prob_matrix[a, b])
-            nb = int(sizes_arr[b])
-            total = na * nb
-            if p == 0 or total == 0:
-                continue
-            count = int(gen.binomial(total, p))
-            flat = gen.choice(total, size=min(count, total), replace=False).astype(
-                np.int64
-            )
-            rows = flat // nb + starts[a]
-            cols = flat % nb + starts[b]
-            builder.add_edges(np.column_stack((rows, cols)))
+    for block in _sbm_blocks(sizes_arr, prob_matrix, gen):
+        builder.add_edges(block)
     partition = CategoryPartition.from_blocks(sizes_arr, names=names)
     return builder.build(), partition
+
+
+def emit_sbm_arcs(
+    sizes: Sequence[int],
+    prob_matrix: np.ndarray,
+    chunk_size: int = DEFAULT_CHUNK_ARCS,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream SBM edges in blocks of at most ``chunk_size``.
+
+    Block pairs are sampled in the same order — and with the same RNG
+    draws — as :func:`stochastic_block_model`; each block-pair edge
+    array is re-sliced to the chunk bound before being yielded.
+    """
+    gen = ensure_rng(rng)
+    sizes_arr, prob_matrix = _validated_sizes_probs(sizes, prob_matrix)
+    if chunk_size < 1:
+        raise GenerationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    def blocks() -> Iterator[np.ndarray]:
+        for block in _sbm_blocks(sizes_arr, prob_matrix, gen):
+            yield from chunk_edges(block, chunk_size)
+
+    return blocks()
 
 
 def planted_partition_graph(

@@ -1,4 +1,11 @@
-"""Graph substrate: CSR container, partitions, category graphs, I/O."""
+"""Graph substrate: CSR container, partitions, category graphs, I/O.
+
+The out-of-core storage plane lives in :mod:`repro.graph.storage`:
+``save_csr``/``open_csr`` persist and map CSR planes on disk,
+``StreamingCSRBuilder`` builds them from bounded edge chunks, and the
+``graph_storage("memmap")`` scope (or ``REPRO_GRAPH_STORAGE=memmap``)
+reroutes every :class:`GraphBuilder` through it.
+"""
 
 from repro.graph.adjacency import Graph
 from repro.graph.builder import GraphBuilder
@@ -23,9 +30,31 @@ from repro.graph.operations import (
     largest_component,
 )
 from repro.graph.partition import CategoryPartition
+from repro.graph.storage import (
+    MemmapCSR,
+    StreamingCSRBuilder,
+    active_storage_mode,
+    chunk_edges,
+    edge_chunks,
+    graph_storage,
+    open_csr,
+    save_csr,
+    storage_root,
+    stream_graph,
+)
 from repro.graph.union import UnionCSR, union_csr
 
 __all__ = [
+    "MemmapCSR",
+    "StreamingCSRBuilder",
+    "active_storage_mode",
+    "chunk_edges",
+    "edge_chunks",
+    "graph_storage",
+    "open_csr",
+    "save_csr",
+    "storage_root",
+    "stream_graph",
     "Graph",
     "GraphBuilder",
     "CategoryGraph",

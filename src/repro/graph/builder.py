@@ -3,6 +3,15 @@
 :class:`GraphBuilder` accumulates edges (as NumPy chunks, so bulk adds
 are cheap), then :meth:`GraphBuilder.build` deduplicates, symmetrises and
 emits a validated CSR graph in one vectorised pass.
+
+The builder is also the library's *storage seam*: when the ambient
+storage mode (:func:`repro.graph.storage.active_storage_mode` —
+``graph_storage("memmap")`` scopes or ``REPRO_GRAPH_STORAGE=memmap``)
+selects the out-of-core plane, every added chunk is forwarded to a
+:class:`~repro.graph.storage.StreamingCSRBuilder` that spills sorted
+runs to disk, and :meth:`build` returns a graph whose CSR planes are
+``np.memmap`` views of the on-disk store — bit-identical to the in-RAM
+build, with peak RSS bounded by the chunk size instead of ``|E|``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,9 @@ class GraphBuilder:
     * Duplicate edges are silently merged (the result is a simple graph).
     * Self-loops raise :class:`GraphError` eagerly — they are always a
       bug in this library's domain (friendship/overlay graphs).
+    * The storage mode is captured at construction time, so a builder
+      created inside a ``graph_storage("memmap")`` scope spills its
+      chunks out-of-core even if the scope exits before ``build()``.
     """
 
     def __init__(self, num_nodes: int):
@@ -35,6 +47,14 @@ class GraphBuilder:
             raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
         self._num_nodes = int(num_nodes)
         self._chunks: list[np.ndarray] = []
+        self._num_added = 0
+        from repro.graph import storage  # deferred: avoids an import cycle
+
+        self._streaming = (
+            storage.StreamingCSRBuilder(self._num_nodes)
+            if storage.active_storage_mode() == "memmap"
+            else None
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -60,15 +80,27 @@ class GraphBuilder:
         if np.any(arr[:, 0] == arr[:, 1]):
             bad = int(arr[arr[:, 0] == arr[:, 1]][0, 0])
             raise GraphError(f"self-loop at node {bad} is not allowed")
-        self._chunks.append(arr)
+        self._num_added += len(arr)
+        if self._streaming is not None:
+            self._streaming.add_edges(arr)
+        else:
+            self._chunks.append(arr)
 
     def edge_count_upper_bound(self) -> int:
         """Number of edge records added so far (before deduplication)."""
-        return sum(len(c) for c in self._chunks)
+        return self._num_added
 
     def build(self) -> Graph:
-        """Deduplicate, symmetrise and emit the CSR graph."""
+        """Deduplicate, symmetrise and emit the CSR graph.
+
+        In-RAM mode this is one vectorised pass; in memmap mode the
+        spilled runs are external-merged into an on-disk CSR and the
+        returned graph's planes are read-only file mappings. Both paths
+        produce the same bytes.
+        """
         n = self._num_nodes
+        if self._streaming is not None:
+            return self._streaming.build().graph()
         if not self._chunks:
             return Graph.empty(n)
         raw = np.concatenate(self._chunks)

@@ -105,26 +105,51 @@ def write_labels(partition: CategoryPartition, path: "str | Path") -> None:
 def save_npz(
     path: "str | Path", graph: Graph, partition: CategoryPartition | None = None
 ) -> None:
-    """Binary round-trip bundle (graph CSR + optional partition)."""
+    """Binary round-trip bundle (graph CSR + optional partition).
+
+    Category names are stored as a fixed-width unicode array, never as
+    pickled objects, so the bundle loads with ``allow_pickle=False`` —
+    opening an untrusted ``.npz`` cannot execute anything.
+    """
     payload: dict[str, np.ndarray] = {
         "indptr": np.asarray(graph.indptr),
         "indices": np.asarray(graph.indices),
     }
     if partition is not None:
         payload["labels"] = np.asarray(partition.labels)
-        payload["names"] = np.asarray(partition.names, dtype=object)
-    np.savez_compressed(Path(path), **payload, allow_pickle=True)
+        payload["names"] = np.asarray(partition.names, dtype="U")
+    np.savez_compressed(Path(path), **payload)
 
 
 def load_npz(path: "str | Path") -> tuple[Graph, CategoryPartition | None]:
-    """Load a bundle written by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=True) as data:
+    """Load a bundle written by :func:`save_npz`.
+
+    Pickle execution is disabled; bundles from older versions that
+    stored ``names`` as an object array fall back to a guarded re-read
+    of that one member.
+    """
+    path = Path(path)
+    with np.load(path) as data:
         graph = Graph(data["indptr"], data["indices"], validate=False)
         partition = None
         if "labels" in data:
-            names = [str(s) for s in data["names"]]
+            try:
+                names = [str(s) for s in data["names"]]
+            except ValueError:
+                names = _legacy_object_names(path)
             partition = CategoryPartition(data["labels"], names=names)
     return graph, partition
+
+
+def _legacy_object_names(path: Path) -> list[str]:
+    """Compat fallback for pre-fix bundles with object-dtype ``names``.
+
+    Only the ``names`` member is re-read with pickling enabled, and
+    only after the pickle-free load of the same file already failed on
+    it — a deliberate opt-in for old caches, not the default path.
+    """
+    with np.load(path, allow_pickle=True) as data:
+        return [str(s) for s in data["names"]]
 
 
 def category_graph_to_json(category_graph, min_weight: float = 0.0) -> str:

@@ -127,24 +127,12 @@ def _env_number(name: str, cast, minimum):
 
 def _env_options() -> RuntimeOptions:
     executor = os.environ.get("REPRO_EXECUTOR", "").strip() or None
-    workers_env = os.environ.get("REPRO_WORKERS", "").strip()
     checkpoint_env = os.environ.get("REPRO_CHECKPOINT", "").strip()
     resume_env = os.environ.get("REPRO_RESUME", "").strip().lower()
-    if workers_env:
-        try:
-            workers = int(workers_env)
-        except ValueError:
-            from repro.exceptions import EstimationError
-
-            raise EstimationError(
-                f"REPRO_WORKERS must be an integer, got {workers_env!r}"
-            ) from None
-    else:
-        workers = None
     scheduler_env = os.environ.get("REPRO_PLAN_SCHEDULER", "").strip() or None
     return RuntimeOptions(
         executor=executor,
-        workers=workers,
+        workers=_env_number("REPRO_WORKERS", int, 1),
         checkpoint=Path(checkpoint_env) if checkpoint_env else None,
         resume=(resume_env in _TRUTHY) if resume_env else None,
         plan_scheduler=scheduler_env,

@@ -27,6 +27,12 @@ string per :func:`inject` argument)::
                                                 observations | samples
                                                 | truth; default any)
                                                 after its atomic write
+    corrupt-manifest[:times=N]                  truncate the next
+                                                on-disk CSR manifest
+                                                (repro.graph.storage)
+                                                after its atomic write
+                                                — the torn-manifest
+                                                recovery path
     fail-respawn[:times=N]                      make the next N worker
                                                 spawns raise
 
@@ -67,7 +73,13 @@ __all__ = [
 ]
 
 #: Recognized fault kinds (see module docstring for their grammar).
-KINDS = ("kill-worker", "hang-worker", "corrupt-checkpoint", "fail-respawn")
+KINDS = (
+    "kill-worker",
+    "hang-worker",
+    "corrupt-checkpoint",
+    "corrupt-manifest",
+    "fail-respawn",
+)
 
 
 class Fault:

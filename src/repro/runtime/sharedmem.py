@@ -17,6 +17,17 @@ graph (samplers, :class:`~repro.graph.adjacency.Graph` instances,
 least ``threshold`` bytes big rides shared memory automatically, so new
 sampler designs get the treatment without registering anything.
 
+Arrays that are already *file-backed* — views of an ``np.memmap``, the
+planes of an out-of-core CSR built by :mod:`repro.graph.storage` — are
+never copied at all: the pickler ships an ``mmap`` token (absolute
+path, dtype, shape, byte offset) alongside the ``psm_*`` shared-memory
+token kind, and each worker maps the same file read-only. Release
+semantics differ per token kind: detaching a shared-memory block
+requires that no view still exports its buffer (the block is pinned
+otherwise), while dropping a file mapping is always safe — surviving
+views keep the mapping alive through their ``base`` chain and the OS
+reclaims the pages when the last one dies.
+
 Lifecycle: the parent owns the blocks — keep the
 :class:`SharedArrayPool` alive until every worker has exited, then
 :meth:`SharedArrayPool.close` unlinks them. Workers attach untracked
@@ -32,6 +43,7 @@ pool concurrently.
 
 from __future__ import annotations
 
+import os
 import pickle
 import sys
 import threading
@@ -56,6 +68,33 @@ __all__ = [
 DEFAULT_THRESHOLD_BYTES = 16_384
 
 _TOKEN_KIND = "repro-shm-ndarray"
+_MMAP_TOKEN_KIND = "repro-mmap-ndarray"
+
+
+def _memmap_source(array: np.ndarray) -> "tuple[str, int] | None":
+    """``(path, byte_offset)`` when ``array`` is a file-backed window.
+
+    Walks the ``base`` chain to an ``np.memmap`` with a real filename
+    and computes the array's byte offset into the file. Copy-on-write
+    mappings are rejected (their pages may diverge from the file), as
+    is anything non-contiguous — those fall through to the shared
+    memory path.
+    """
+    if not array.flags.c_contiguous:
+        return None
+    base = array
+    while base is not None and not isinstance(base, np.memmap):
+        base = base.base
+    if base is None or getattr(base, "filename", None) is None:
+        return None
+    if getattr(base, "mode", "r") == "c":
+        return None
+    start = array.__array_interface__["data"][0]
+    base_start = base.__array_interface__["data"][0]
+    if start < base_start or start + array.nbytes > base_start + base.nbytes:
+        return None  # view escaped its mapping; never ship that
+    offset = int(base.offset) + (start - base_start)
+    return os.fspath(base.filename), offset
 
 
 class SharedArrayPool:
@@ -70,15 +109,33 @@ class SharedArrayPool:
     def __init__(self, threshold: int = DEFAULT_THRESHOLD_BYTES):
         self.threshold = int(threshold)
         self._blocks: list[shared_memory.SharedMemory] = []
+        self._mmap_names: list[str] = []
         self._tokens: dict[int, tuple] = {}
         self._pinned: list[np.ndarray] = []
         self._lock = threading.Lock()
 
     def publish(self, array: np.ndarray) -> tuple:
-        """The persistent-id token of ``array``, publishing on first use."""
+        """The persistent-id token of ``array``, publishing on first use.
+
+        File-backed arrays (memmap planes of an on-disk CSR) are not
+        copied into shared memory at all — their token names the file,
+        and workers map it directly.
+        """
         with self._lock:
             token = self._tokens.get(id(array))
             if token is not None:
+                return token
+            mapped = _memmap_source(array)
+            if mapped is not None:
+                path, offset = mapped
+                name = f"mmap:{path}@{offset}"
+                token = (
+                    _MMAP_TOKEN_KIND, name, path,
+                    array.dtype.str, array.shape, offset,
+                )
+                self._mmap_names.append(name)
+                self._tokens[id(array)] = token
+                self._pinned.append(array)
                 return token
             source = np.ascontiguousarray(array)
             block = shared_memory.SharedMemory(
@@ -104,19 +161,28 @@ class SharedArrayPool:
 
     @property
     def block_names(self) -> tuple[str, ...]:
-        """The shared-memory block names this pool has published.
+        """Every name this pool has published (shared-memory + mmap).
 
         The retire grain of the persistent worker pool: when a cell's
         run finishes, its run-local pool's names are broadcast so the
-        long-lived workers drop their attachments.
+        long-lived workers drop their attachments — shared-memory
+        blocks and file mappings through the same :func:`release` call.
         """
         with self._lock:
-            return tuple(block.name for block in self._blocks)
+            return tuple(block.name for block in self._blocks) + tuple(
+                self._mmap_names
+            )
 
     def close(self) -> None:
-        """Release and unlink every published block (parent side)."""
+        """Release and unlink every published block (parent side).
+
+        Only shared-memory blocks are unlinked; mmap tokens reference
+        files owned by whoever built the on-disk CSR, and unmapping is
+        the workers' (or the OS's) business.
+        """
         with self._lock:
             blocks, self._blocks = self._blocks, []
+            self._mmap_names = []
             self._tokens = {}
             self._pinned = []
         for block in blocks:
@@ -243,33 +309,63 @@ _UNRELEASABLE: list = []
 
 
 class _PlaneUnpickler(pickle.Unpickler):
-    """Unpickler resolving tokens to read-only shared-memory views."""
+    """Unpickler resolving tokens to read-only zero-copy views.
+
+    Shared-memory tokens attach the named block; mmap tokens map the
+    named file. Both land in the same :data:`_ATTACHED` cache, so one
+    retire/:func:`release` namespace covers both kinds.
+    """
 
     def persistent_load(self, pid):
-        kind, name, dtype, shape = pid
-        if kind != _TOKEN_KIND:
-            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
-        with _ATTACHED_LOCK:
-            cached = _ATTACHED.get(name)
-            if cached is None:
-                block = _attach(name)
-                array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
-                array.flags.writeable = False
-                cached = (block, array)
-                _ATTACHED[name] = cached
-        return cached[1]
+        kind = pid[0]
+        if kind == _TOKEN_KIND:
+            _, name, dtype, shape = pid
+            with _ATTACHED_LOCK:
+                cached = _ATTACHED.get(name)
+                if cached is None:
+                    block = _attach(name)
+                    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+                    array.flags.writeable = False
+                    cached = (block, array)
+                    _ATTACHED[name] = cached
+            return cached[1]
+        if kind == _MMAP_TOKEN_KIND:
+            _, name, path, dtype, shape, offset = pid
+            with _ATTACHED_LOCK:
+                cached = _ATTACHED.get(name)
+                if cached is None:
+                    mapped = np.memmap(
+                        path,
+                        dtype=np.dtype(dtype),
+                        mode="r",
+                        offset=offset,
+                        shape=tuple(shape),
+                    )
+                    array = mapped.view(np.ndarray)
+                    array.flags.writeable = False
+                    cached = (mapped, array)
+                    _ATTACHED[name] = cached
+            return cached[1]
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
 
 
 def release(names) -> None:
     """Drop this process's cached attachments for the named blocks.
 
     Called by persistent pool workers when the parent retires a
-    finished cell's run-local blocks. Unmapping requires that no live
-    ndarray view still exports the buffer; a block whose view survived
-    the task teardown (e.g. kept alive by a reference cycle awaiting
-    GC) is left pinned rather than half-released — the memory then goes
-    back with the next retire that finds it collectable, or at process
-    exit.
+    finished cell's run-local blocks. Release semantics are split per
+    token kind:
+
+    * *Shared memory*: unmapping requires that no live ndarray view
+      still exports the buffer; a block whose view survived the task
+      teardown (e.g. kept alive by a reference cycle awaiting GC) is
+      left pinned rather than half-released — the memory then goes back
+      with the next retire that finds it collectable, or at process
+      exit.
+    * *File mappings* (``mmap:`` tokens): dropping the cache entry is
+      always safe, refcount regardless — a surviving view keeps the
+      mapping alive through its ``base`` chain and the OS reclaims the
+      pages when the last view dies, so there is nothing to pin.
     """
     for name in names:
         with _ATTACHED_LOCK:
@@ -278,6 +374,8 @@ def release(names) -> None:
             continue
         block, array = cached
         del cached
+        if not isinstance(block, shared_memory.SharedMemory):
+            continue
         if sys.getrefcount(array) > 2:
             # A task still holds views into this block (the cache's
             # reference plus getrefcount's argument account for 2):

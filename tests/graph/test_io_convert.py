@@ -109,6 +109,36 @@ class TestNpz:
         assert graph == triangle_pair
         assert partition is None
 
+    def test_bundle_is_pickle_free(
+        self, tmp_path, triangle_pair, triangle_pair_partition
+    ):
+        """New bundles must load with pickle execution disabled."""
+        import numpy as np
+
+        path = tmp_path / "bundle.npz"
+        save_npz(path, triangle_pair, triangle_pair_partition)
+        with np.load(path, allow_pickle=False) as data:
+            assert data["names"].dtype.kind == "U"  # fixed-width, not object
+
+    def test_legacy_object_names_bundle_still_loads(
+        self, tmp_path, triangle_pair, triangle_pair_partition
+    ):
+        """Pre-fix bundles stored names as a pickled object array."""
+        import numpy as np
+
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            indptr=np.asarray(triangle_pair.indptr),
+            indices=np.asarray(triangle_pair.indices),
+            labels=np.asarray(triangle_pair_partition.labels),
+            names=np.asarray(triangle_pair_partition.names, dtype=object),
+            allow_pickle=True,
+        )
+        graph, partition = load_npz(path)
+        assert graph == triangle_pair
+        assert partition == triangle_pair_partition
+
 
 class TestNetworkx:
     def test_to_networkx(self, triangle_pair, triangle_pair_partition):

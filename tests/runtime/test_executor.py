@@ -293,3 +293,13 @@ def test_malformed_workers_env_names_the_variable(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "two")
     with pytest.raises(EstimationError, match="REPRO_WORKERS"):
         active_options()
+
+
+@pytest.mark.parametrize("value", ["0", "-2"])
+def test_non_positive_workers_env_rejected(monkeypatch, value):
+    """REPRO_WORKERS=0/-2 must raise, not be silently accepted."""
+    from repro.runtime.config import active_options
+
+    monkeypatch.setenv("REPRO_WORKERS", value)
+    with pytest.raises(EstimationError, match="REPRO_WORKERS must be >= 1"):
+        active_options()

@@ -128,3 +128,54 @@ def test_process_executor_bit_identical_to_serial_sweep(name, world):
                 getattr(parallel, attr)[kind],
                 equal_nan=True,
             ), f"{name}: {attr}[{kind}] diverged between executors"
+
+
+@pytest.fixture(scope="module")
+def mapped_world(tmp_path_factory):
+    """The same substrate as ``world``, built out-of-core."""
+    from repro.graph.storage import graph_storage
+
+    root = tmp_path_factory.mktemp("memmap-golden")
+    with graph_storage("memmap", directory=root):
+        graph, partition = planted_category_graph(k=6, scale=60, rng=7)
+        relation = gnm(graph.num_nodes, max(graph.num_edges // 3, 1), rng=11)
+    return graph, partition, relation
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_memmap_backed_sweep_bit_identical_to_ram(name, world, mapped_world):
+    """The golden pin of the storage plane: NRMSE surfaces computed
+    from disk-mapped CSR planes equal the in-RAM surfaces bit for bit
+    through the full estimator stack."""
+    graph, partition, relation = world
+    m_graph, m_partition, m_relation = mapped_world
+    factory = DESIGNS[name]
+    ram = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+    )
+    mapped = run_nrmse_sweep(
+        m_graph,
+        m_partition,
+        factory(m_graph, m_partition, m_relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+    )
+    assert np.array_equal(ram.sample_sizes, mapped.sample_sizes)
+    for kind in ("induced", "star"):
+        for attr in (
+            "size_nrmse",
+            "weight_nrmse",
+            "size_coverage",
+            "weight_coverage",
+        ):
+            assert np.array_equal(
+                getattr(ram, attr)[kind],
+                getattr(mapped, attr)[kind],
+                equal_nan=True,
+            ), f"{name}: {attr}[{kind}] diverged between storage planes"

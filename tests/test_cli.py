@@ -93,3 +93,11 @@ class TestExperimentCommand:
     def test_unknown_experiment_errors(self, capsys):
         assert main(["experiment", "fig99", "--show-plan"]) == 1
         assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_workers_rejected(self, capsys, value):
+        """--workers shares the REPRO_WORKERS >= 1 contract."""
+        assert main(["run", "table1", "--workers", value]) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+        assert main(["experiment", "table1", "--workers", value]) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
