@@ -132,11 +132,17 @@ def test_plan_scheduler_wall_clock(preset, timing_asserts):
             f"{experiment}: DAG output diverged from serial"
         )
 
+        # One extra untimed instrumented DAG run: the per-phase
+        # breakdown plus peak-RSS / shared-memory gauges, kept out of
+        # the timed rows so recording can never skew wall clock.
+        from benchmarks.bench_walks import _telemetry_breakdown
+
         record["plans"][experiment] = {
             "serial_seconds": round(serial_time, 4),
             f"loop@process-w{WORKERS}_seconds": round(loop_time, 4),
             f"dag@process-w{WORKERS}_seconds": round(dag_time, 4),
             "dag_speedup_vs_loop": round(loop_time / dag_time, 2),
+            "telemetry": _telemetry_breakdown(dag_run),
         }
         print(
             f"  {experiment:>6}: serial {serial_time:6.3f}s  "

@@ -99,6 +99,32 @@ def _best_of(fn, repeats=REPEATS):
     return best, result
 
 
+def _telemetry_breakdown(fn) -> dict:
+    """One extra *untimed* instrumented run: per-phase seconds plus the
+    peak-RSS and shared-memory gauges. Kept out of the timed repeats so
+    recording overhead can never skew a recorded wall-clock figure."""
+    from repro.runtime import telemetry_scope
+
+    with telemetry_scope() as recorder:
+        fn()
+    metrics = recorder.metrics_summary()
+    return {
+        "phase_seconds": {
+            f"{cat}.{name}": row["seconds"]
+            for cat, names in sorted(metrics["phases"].items())
+            for name, row in sorted(names.items())
+        },
+        "worker_utilization": {
+            pid: row["utilization"]
+            for pid, row in sorted(metrics["workers"].items())
+        },
+        "shm_published_bytes": metrics["counters"]["shm.published_bytes"],
+        "shm_peak_pool_bytes": metrics["gauges"].get("shm.peak_pool_bytes", 0),
+        "driver_peak_rss_bytes": metrics["gauges"].get("driver_peak_rss_bytes"),
+        "worker_peak_rss_bytes": metrics["gauges"].get("worker_peak_rss_bytes"),
+    }
+
+
 def _sweeps_equal(a, b) -> bool:
     for kind in ("induced", "star"):
         for attr in ("size_nrmse", "weight_nrmse", "size_coverage", "weight_coverage"):
@@ -224,6 +250,13 @@ def test_batched_sweep_speedup(preset, timing_asserts):
                 "batched_incremental_seconds": round(par_time, 4),
                 "single_process_seconds": round(single_time, 4),
                 "speedup_vs_single_process": round(speedup, 2),
+                "telemetry": _telemetry_breakdown(
+                    lambda: run_nrmse_sweep(
+                        graph, partition, sampler, ladder,
+                        replications=REPLICATIONS, rng=0,
+                        executor="process", workers=workers,
+                    )
+                ),
             }
             print(
                 f"  {name:>10}: process x{workers} {par_time:6.3f}s  "

@@ -189,10 +189,48 @@ def _add_runtime_arguments(command: argparse.ArgumentParser) -> None:
             "timeout — only worker death triggers failover)"
         ),
     )
+    command.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record runtime telemetry and write a Chrome/Perfetto "
+            "trace.json timeline (open at ui.perfetto.dev); never "
+            "changes outputs"
+        ),
+    )
+    command.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record runtime telemetry and write a flat metrics.json "
+            "summary (per-phase totals, worker utilization, shm bytes, "
+            "failover counts)"
+        ),
+    )
+    command.add_argument(
+        "--verbose",
+        action="store_true",
+        help=(
+            "emit repro.* runtime logs to stderr at DEBUG level "
+            "(equivalent to REPRO_LOG=DEBUG)"
+        ),
+    )
 
 
 def _runtime_scope(args):
-    """The executor configuration implied by the parsed arguments."""
+    """The runtime configuration implied by the parsed arguments.
+
+    Returns one context manager stacking the executor options and — when
+    ``--trace``/``--metrics`` asked for it — a telemetry recording scope.
+    Telemetry is observability only: it never changes what the run
+    computes, so the scope composes freely with any executor choice.
+    """
+    from contextlib import ExitStack
+
     from repro.runtime import runtime_options
 
     if args.workers is not None and args.workers < 1:
@@ -210,29 +248,41 @@ def _runtime_scope(args):
         or args.max_retries is not None
         or args.task_timeout is not None
     )
-    if not wants_executor and not tuning:
-        from contextlib import nullcontext
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    stack = ExitStack()
+    if trace is not None or metrics is not None:
+        from repro.runtime.telemetry import telemetry_scope
 
-        return nullcontext()
-    return runtime_options(
-        # --scheduler/--max-retries/--task-timeout alone must not force
-        # the process executor: they only tune a parallel run selected
-        # elsewhere (e.g. REPRO_EXECUTOR).
-        executor="process" if wants_executor else None,
-        workers=args.workers,
-        checkpoint=args.checkpoint,
-        # absent flag = unset, so ambient/env resume settings still apply
-        resume=True if args.resume else None,
-        plan_scheduler=args.scheduler,
-        max_retries=args.max_retries,
-        task_timeout=args.task_timeout,
-    )
+        stack.enter_context(telemetry_scope(trace=trace, metrics=metrics))
+    if wants_executor or tuning:
+        stack.enter_context(
+            runtime_options(
+                # --scheduler/--max-retries/--task-timeout alone must not
+                # force the process executor: they only tune a parallel
+                # run selected elsewhere (e.g. REPRO_EXECUTOR).
+                executor="process" if wants_executor else None,
+                workers=args.workers,
+                checkpoint=args.checkpoint,
+                # absent flag = unset, so ambient/env resume still apply
+                resume=True if args.resume else None,
+                plan_scheduler=args.scheduler,
+                max_retries=args.max_retries,
+                task_timeout=args.task_timeout,
+            )
+        )
+    return stack
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.log import configure_logging
+
+    # No-op unless --verbose or REPRO_LOG asked for output: library use
+    # of repro never gains a handler behind the caller's back.
+    configure_logging(verbose=getattr(args, "verbose", False))
     if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
         # Without a checkpoint root there is nothing to resume from and
         # nothing would be written for the next attempt either.

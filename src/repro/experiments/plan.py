@@ -150,6 +150,11 @@ class SweepCell:
     #: DAG edges). Declarative only: undeclared access still works.
     needs: tuple[str, ...] = ()
 
+    @property
+    def label(self) -> str:
+        """Short human label for telemetry spans and logs (the key)."""
+        return self.key
+
 
 @dataclass(frozen=True)
 class ComputeCell:
@@ -166,6 +171,11 @@ class ComputeCell:
     compute: "Callable[[PlanResources], object]"
     axes: Mapping[str, object] = field(default_factory=dict)
     needs: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Short human label for telemetry spans and logs (the key)."""
+        return self.key
 
 
 @dataclass(frozen=True)

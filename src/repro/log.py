@@ -1,0 +1,103 @@
+"""Stdlib logging hygiene for the ``repro`` package.
+
+Library rule: every module logs through the ``repro`` logger hierarchy
+(``logging.getLogger("repro.runtime.pool")`` etc.) and the package root
+carries a :class:`logging.NullHandler`, so importing :mod:`repro` never
+configures logging behind an application's back and never prints the
+"No handlers could be found" nag.
+
+Applications (and the ``repro`` CLI) opt into console output with
+:func:`configure_logging`, driven by ``--verbose`` or the ``REPRO_LOG``
+environment variable (a level name such as ``debug``/``INFO`` or a
+numeric level). Degradation paths keep their ``warnings.warn`` calls —
+those are API contract, tests assert on them — and *additionally* log,
+so a long-running service with logging configured sees recovery events
+in its stream.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+from repro.exceptions import ReproError
+
+ROOT_NAME = "repro"
+
+#: Levels accepted by name in ``REPRO_LOG`` / ``configure_logging``.
+_LEVELS = {
+    "CRITICAL": logging.CRITICAL,
+    "ERROR": logging.ERROR,
+    "WARNING": logging.WARNING,
+    "INFO": logging.INFO,
+    "DEBUG": logging.DEBUG,
+}
+
+# Library-side hygiene: a NullHandler on the package root, attached at
+# first import of any repro module that logs.
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+_HANDLER: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger inside the ``repro`` hierarchy.
+
+    ``get_logger("repro.runtime.pool")`` (the usual ``__name__`` form)
+    and ``get_logger("runtime.pool")`` name the same logger.
+    """
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def resolve_level(spec: int | str) -> int:
+    """Parse a level name or number; raises :class:`ReproError`."""
+    if isinstance(spec, int):
+        return spec
+    text = str(spec).strip()
+    if text.upper() in _LEVELS:
+        return _LEVELS[text.upper()]
+    try:
+        return int(text)
+    except ValueError:
+        raise ReproError(
+            f"unknown log level {spec!r}; expected one of "
+            f"{', '.join(level.lower() for level in _LEVELS)} or a number"
+        ) from None
+
+
+def configure_logging(
+    level: int | str | None = None, *, verbose: bool = False
+) -> int | None:
+    """Attach one stderr handler to the ``repro`` logger hierarchy.
+
+    Resolution order: explicit ``level`` > ``verbose`` (DEBUG) >
+    ``REPRO_LOG`` environment variable. With none of those set this is
+    a no-op returning ``None`` (the NullHandler stays alone and the
+    library emits nothing). Idempotent: repeated calls re-level the
+    single handler instead of stacking duplicates.
+    """
+    global _HANDLER
+    if level is None:
+        if verbose:
+            level = logging.DEBUG
+        else:
+            env = os.environ.get("REPRO_LOG", "").strip()
+            if not env:
+                return None
+            level = env
+    resolved = resolve_level(level)
+    root = logging.getLogger(ROOT_NAME)
+    if _HANDLER is None:
+        _HANDLER = logging.StreamHandler()
+        _HANDLER.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+            )
+        )
+        root.addHandler(_HANDLER)
+    root.setLevel(resolved)
+    return resolved

@@ -123,8 +123,18 @@ choose — by construction rather than by tolerance:
    deterministically by the fault-injection harness
    (:mod:`repro.runtime.faults`, ``REPRO_FAULTS``) rather than waiting
    for real hardware to misbehave.
+6. **Telemetry is output-neutral.** The runtime telemetry plane
+   (:mod:`repro.runtime.telemetry`, ``--trace``/``--metrics``,
+   :func:`~repro.runtime.telemetry.telemetry_scope`) observes the run —
+   spans, counters, instant markers, shipped from workers over the
+   existing reply channel — but never participates in it: no RNG draw,
+   no float, no schedule decision, no checkpoint byte depends on
+   whether recording is on. Outputs are byte-identical with telemetry
+   enabled or disabled, at any worker count, and with recording off
+   every probe is a single ``None`` check
+   (``tests/runtime/test_telemetry.py`` pins both properties).
 
-``tests/runtime/`` enforces all five properties —
+``tests/runtime/`` enforces all six properties —
 ``test_scheduler.py`` at the DAG grain (fig4 and fig6 bit-equal
 serial-loop vs DAG at 1/2/3 workers, mid-plan kill with cells in
 flight, substrate-free replay), ``test_plan.py`` at the plan grain —
@@ -150,6 +160,7 @@ from repro.runtime.pool import (
     reset_default_pools,
 )
 from repro.runtime.sharedmem import SharedArrayPool
+from repro.runtime.telemetry import TelemetryRecorder, telemetry_scope
 
 __all__ = [
     "PersistentWorkerPool",
@@ -158,6 +169,7 @@ __all__ = [
     "RuntimeOptions",
     "SharedArrayPool",
     "SweepCheckpoint",
+    "TelemetryRecorder",
     "WorkerDied",
     "WorkerFailure",
     "active_options",
@@ -168,4 +180,5 @@ __all__ = [
     "resolve_plan_scheduler",
     "run_plan",
     "runtime_options",
+    "telemetry_scope",
 ]

@@ -61,7 +61,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.runtime import faults
+from repro.log import get_logger
+from repro.runtime import faults, telemetry
 
 __all__ = [
     "PlanCheckpoint",
@@ -70,6 +71,8 @@ __all__ = [
     "read_rung",
     "read_truth",
 ]
+
+_LOG = get_logger(__name__)
 
 #: Bump when the on-disk layout changes; part of the manifest key.
 #: Format 3 added embedded payload checksums, so format-2 files (no
@@ -140,6 +143,9 @@ def _quarantine(path: Path) -> None:
     must never be re-read as truth.
     """
     target = path.with_name(path.name + ".corrupt")
+    _LOG.warning("quarantining corrupt checkpoint payload %s", path)
+    telemetry.counter("checkpoint.quarantined", 1)
+    telemetry.instant("checkpoint.quarantine", cat="checkpoint", file=str(path))
     try:
         os.replace(path, target)
     except OSError:
@@ -185,7 +191,11 @@ def _save_payload(
     arrays = {name: np.asarray(value) for name, value in arrays.items()}
     arrays["checksum"] = np.asarray(_payload_checksum(arrays))
     save = np.savez_compressed if compressed else np.savez
-    _atomic_write(path, lambda h: save(h, **arrays))
+    with telemetry.span(
+        "checkpoint.save", cat="checkpoint", kind=kind, file=path.name
+    ):
+        _atomic_write(path, lambda h: save(h, **arrays))
+    telemetry.counter("checkpoint.saves", 1)
     if faults.take("corrupt-checkpoint", file=kind) is not None:
         data = path.read_bytes()
         path.write_bytes(data[: max(len(data) // 2, 1)])
@@ -206,6 +216,7 @@ def read_rung(path: Path, size: int) -> "tuple[np.ndarray, ...] | None":
     try:
         if int(arrays["size"]) != int(size):
             return None
+        telemetry.counter("checkpoint.rungs_loaded", 1)
         return tuple(arrays[field] for field in _ROW_FIELDS)
     except (KeyError, ValueError):
         _quarantine(path)

@@ -34,6 +34,13 @@ Parent/worker protocol (one duplex pipe per worker)::
                                                       timeout is set);
                                                       never a reply —
                                                       recv skips it
+    parent -> ("telemetry", -1, 0)                    flush telemetry
+    worker -> ("telemetry", -1, payload|None)         drained span/counter
+                                                      payload (only when
+                                                      the parent enabled
+                                                      telemetry for the
+                                                      task; see
+                                                      :mod:`repro.runtime.telemetry`)
 
 A dead or hung worker is *not* fatal: the drive loop runs every shard
 through a :class:`_FailoverDriver`, which re-dispatches a lost shard
@@ -73,8 +80,9 @@ from repro.graph.adjacency import Graph
 from repro.graph.category_graph import true_category_graph
 from repro.graph.partition import CategoryPartition
 from repro.graph.union import UnionCSR
+from repro.log import get_logger
 from repro.rng import ensure_rng, spawn_seeds
-from repro.runtime import faults, sharedmem
+from repro.runtime import faults, sharedmem, telemetry
 from repro.runtime.checkpoint import SweepCheckpoint, read_rung, read_truth
 from repro.runtime.config import DEFAULT_MAX_RETRIES, active_options
 from repro.runtime.pool import (
@@ -105,6 +113,8 @@ from repro.stats.replication import (
 )
 
 __all__ = ["ProcessSweepExecutor", "replay_sweep", "serve_shard"]
+
+_LOG = get_logger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -281,7 +291,22 @@ def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
     pool worker (:mod:`repro.runtime.pool`), which multiplexes several
     tasks (cells) over one connection. Exceptions propagate to the
     caller, which reports them under this task's id.
+
+    When the parent enabled telemetry for the task (``cfg["telemetry"]``)
+    the shard records sample/observe/rung spans into a task-local
+    collector and ships the drained payload back on the parent's
+    ``("telemetry", ...)`` command — the collector is a local, never
+    ambient state, so concurrent tasks of one pool worker and
+    fork-inherited parent recorders cannot cross-contaminate.
     """
+    collector, ship = telemetry.worker_collector(cfg.get("telemetry"))
+    task_label = cfg.get("label") or cfg.get("mode", "shard")
+    shard_ids = [int(i) for i in (cfg.get("shard") or ())]
+    task_start = telemetry.now_us() if collector is not None else 0
+    if collector is not None and shard_ids:
+        collector.name_thread(
+            f"shard r{shard_ids[0]}-r{shard_ids[-1]}"
+        )
     world = sharedmem.loads(payload)
     graph, partition = world["graph"], world["partition"]
     if cfg["mode"] == "predrawn":
@@ -313,32 +338,41 @@ def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
     else:
         sampler = world["sampler"]
         streams = [np.random.default_rng(seed) for seed in cfg["seeds"]]
-        batch = sample_streams(
-            sampler, cfg["n"], streams, engine=cfg["engine"]
-        )
-        samples = batch.replicates()
+        with telemetry.span_in(
+            collector, "sample", cat="worker",
+            task=task_label, replicates=len(shard_ids), n=cfg["n"],
+        ):
+            batch = sample_streams(
+                sampler, cfg["n"], streams, engine=cfg["engine"]
+            )
+            samples = batch.replicates()
         if cfg["want_samples"]:
             send("sampled", batch.nodes, batch.weights)
         else:
             send("sampled", None, None)
     restored = world.get("observations")
     names = tuple(partition.names)
-    ladders = [
-        _ReplicateLadder(
-            graph,
-            partition,
-            sample,
-            cfg["ladder"],
-            cfg["n_pop"],
-            cfg["mean_degree_model"],
-            observations=(
-                None
-                if restored is None
-                else _observations_restore(names, restored[local])
-            ),
-        )
-        for local, sample in enumerate(samples)
-    ]
+    with telemetry.span_in(
+        collector, "observe", cat="worker",
+        task=task_label, replicates=len(samples),
+        restored=restored is not None,
+    ):
+        ladders = [
+            _ReplicateLadder(
+                graph,
+                partition,
+                sample,
+                cfg["ladder"],
+                cfg["n_pop"],
+                cfg["mean_degree_model"],
+                observations=(
+                    None
+                    if restored is None
+                    else _observations_restore(names, restored[local])
+                ),
+            )
+            for local, sample in enumerate(samples)
+        ]
     if cfg["want_observations"]:
         send(
             "observed",
@@ -359,20 +393,41 @@ def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
         if command == "stop":
             break
         si, size = message[1], message[2]
+        if command == "telemetry":
+            # Flush request: close the task span, ship what this task
+            # recorded (None under the in-process channel, where the
+            # collector IS the ambient recorder and nothing crosses a
+            # process boundary).
+            if collector is not None:
+                collector.add_span(
+                    f"task:{task_label}", "worker",
+                    task_start, telemetry.now_us() - task_start,
+                    {"replicates": len(shard_ids)},
+                )
+            send("telemetry", si, collector.drain() if ship else None)
+            continue
         if command == "rung" and si in kill_rungs:
             # Injected mid-rung death: SIGKILL before computing a row,
             # so the parent observes exactly what a segfault/OOM-kill
             # looks like — a clean EOF with the rung unanswered.
             os.kill(os.getpid(), signal.SIGKILL)
         if command == "skip":
-            for ladder in ladders:
-                ladder.skip(size)
+            with telemetry.span_in(
+                collector, "skip", cat="worker",
+                task=task_label, rung=si, size=size,
+            ):
+                for ladder in ladders:
+                    ladder.skip(size)
             send("skipped", si)
         elif command == "rung":
-            rows = [
-                _rung_rows(ladder.rung(size), plugin, truth_sizes)
-                for ladder in ladders
-            ]
+            with telemetry.span_in(
+                collector, "rung", cat="worker",
+                task=task_label, rung=si, size=size,
+            ):
+                rows = [
+                    _rung_rows(ladder.rung(size), plugin, truth_sizes)
+                    for ladder in ladders
+                ]
             send(
                 "rows",
                 si,
@@ -589,6 +644,10 @@ class _FailoverDriver:
 
     # ------------------------------------------------------------------
     def _warn(self, message: str) -> None:
+        # warnings.warn is the API contract (tests assert on it); the
+        # logger and the trace marker are observability side channels.
+        _LOG.warning(message)
+        telemetry.instant("degrade", cat="failover", message=message)
         warnings.warn(message, RuntimeWarning, stacklevel=4)
 
     def _lease(self, initial: bool = False) -> None:
@@ -706,6 +765,22 @@ class _FailoverDriver:
         }
         run.retries.append(entry)
         self.failover_log.append(dict(entry, slot=run.slot))
+        # Recorded at recovery time, so the event reaches the telemetry
+        # summary on every path alike — fresh sweeps, pre-drawn sweeps,
+        # and plan cells — instead of only where a caller thinks to
+        # read executor.failover_log.
+        _LOG.warning(
+            "shard %d failover: %s (pid=%s, phase=%s, attempt %d/%d)",
+            run.slot, entry["reason"], pid, run.phase,
+            len(run.retries), self.max_retries + 1,
+        )
+        telemetry.instant(
+            "failover", cat="failover",
+            slot=run.slot, pid=pid, exitcode=entry["exitcode"],
+            phase=run.phase, timeout=entry["timeout"],
+            attempt=len(run.retries),
+        )
+        telemetry.counter("failover.recoveries", 1)
         if len(run.retries) > self.max_retries:
             raise WorkerFailure(run.slot, run.shard, run.retries) from failure
         if run.channel is not None:
@@ -803,6 +878,10 @@ class ProcessSweepExecutor:
         a slow one (stuck tasks escalate through the retry path).
         ``None`` defers to the ambient configuration
         (``REPRO_TASK_TIMEOUT``; default: no timeout).
+    label:
+        Display label for telemetry spans (the plan scheduler passes
+        its cell key, so worker task spans read ``task:RW09``).
+        Never touches results.
 
     Attributes
     ----------
@@ -829,12 +908,14 @@ class ProcessSweepExecutor:
         pool=None,
         max_retries: int | None = None,
         task_timeout: float | None = None,
+        label: str | None = None,
     ):
         if workers is not None and workers < 1:
             raise EstimationError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers) if workers is not None else default_workers()
         self.checkpoint_root = None if checkpoint is None else Path(checkpoint)
         self.resume = bool(resume)
+        self.label = label
         self._mp_context = mp_context
         self._pool = pool
         self.last_checkpoint = None
@@ -1080,6 +1161,11 @@ class ProcessSweepExecutor:
         persist_samples: bool,
     ) -> SweepResult:
         """Spawn shard workers and drive the rung loop (both modes)."""
+        # Reset per run: a fully-cached replay below never constructs a
+        # driver, and without this a previous run's recovery log would
+        # survive on the instance as stale diagnostics.
+        self.failover_log = []
+        sweep_label = self.label or "sweep"
         r, k, c = replications, len(sizes), partition.num_categories
         size_stacks = {kind: np.full((r, k, c), np.nan) for kind in KINDS}
         weight_stacks = {kind: np.full((r, k, c, c), np.nan) for kind in KINDS}
@@ -1087,11 +1173,17 @@ class ProcessSweepExecutor:
             # Every rung is already checkpointed: assemble the result
             # straight from disk — no workers, no resampling, no ladder
             # rebuilds (a finished sweep re-resumed is a pure replay).
-            for si in range(len(sizes)):
-                self._fill(size_stacks, weight_stacks, si, cached_rungs[si])
-            return _reduce_stacks(
-                sizes, size_stacks, weight_stacks, truth, truth_mode
-            )
+            telemetry.counter("checkpoint.sweep_cache_hits", 1)
+            with telemetry.span(
+                "sweep.replay", cat="driver", task=sweep_label, rungs=k
+            ):
+                for si in range(len(sizes)):
+                    self._fill(
+                        size_stacks, weight_stacks, si, cached_rungs[si]
+                    )
+                return _reduce_stacks(
+                    sizes, size_stacks, weight_stacks, truth, truth_mode
+                )
 
         num_workers = min(self.workers, replications)
         shards = np.array_split(np.arange(replications), num_workers)
@@ -1121,71 +1213,114 @@ class ProcessSweepExecutor:
                 worker_pool, num_workers, self.max_retries, self.task_timeout
             )
             self.failover_log = driver.failover_log
+            recorder = telemetry.recorder()
             try:
-                for slot, shard in enumerate(shards):
-                    # One payload per shard, sliced to what that worker
-                    # reads; large arrays still publish exactly once
-                    # (the pool deduplicates by identity across shards,
-                    # and the ambient pool across a plan's cells).
-                    payload = sharedmem.dumps(
-                        {
-                            "graph": graph,
-                            "partition": partition,
-                            "observations": (
-                                None
-                                if observations is None
-                                else [observations[i] for i in shard]
-                            ),
-                            **make_payload(shard),
-                        },
-                        publish_pool,
-                    )
-                    cfg = {
-                        "n_pop": graph.num_nodes,
-                        "ladder": ladder,
-                        "weight_size_plugin": weight_size_plugin,
-                        "mean_degree_model": mean_degree_model,
-                        "truth_sizes": truth.sizes,
-                        "want_observations": want_observations,
-                        **make_cfg(shard),
-                    }
-                    driver.open(_ShardRun(slot, shard, payload, cfg))
+                with telemetry.span(
+                    "dispatch", cat="driver", task=sweep_label,
+                    shards=num_workers, replications=replications,
+                ):
+                    for slot, shard in enumerate(shards):
+                        # One payload per shard, sliced to what that worker
+                        # reads; large arrays still publish exactly once
+                        # (the pool deduplicates by identity across shards,
+                        # and the ambient pool across a plan's cells).
+                        payload = sharedmem.dumps(
+                            {
+                                "graph": graph,
+                                "partition": partition,
+                                "observations": (
+                                    None
+                                    if observations is None
+                                    else [observations[i] for i in shard]
+                                ),
+                                **make_payload(shard),
+                            },
+                            publish_pool,
+                        )
+                        cfg = {
+                            "n_pop": graph.num_nodes,
+                            "ladder": ladder,
+                            "weight_size_plugin": weight_size_plugin,
+                            "mean_degree_model": mean_degree_model,
+                            "truth_sizes": truth.sizes,
+                            "want_observations": want_observations,
+                            **make_cfg(shard),
+                        }
+                        if recorder is not None:
+                            cfg["telemetry"] = True
+                            cfg["label"] = sweep_label
+                        driver.open(_ShardRun(slot, shard, payload, cfg))
 
                 runs = driver.runs
-                sampled = [driver.collect(run, "sampled") for run in runs]
-                if persist_samples and checkpoint is not None:
-                    nodes = np.concatenate([part[0] for part in sampled])
-                    node_weights = np.concatenate([part[1] for part in sampled])
-                    checkpoint.save_samples(nodes, node_weights)
-                observed = [driver.collect(run, "observed") for run in runs]
-                if want_observations and checkpoint is not None:
-                    checkpoint.save_observations(
-                        [fields for shard_obs in observed for fields in shard_obs]
-                    )
+                with telemetry.span(
+                    "phase.sample", cat="driver", task=sweep_label
+                ):
+                    sampled = [
+                        driver.collect(run, "sampled") for run in runs
+                    ]
+                    if persist_samples and checkpoint is not None:
+                        nodes = np.concatenate([part[0] for part in sampled])
+                        node_weights = np.concatenate(
+                            [part[1] for part in sampled]
+                        )
+                        checkpoint.save_samples(nodes, node_weights)
+                with telemetry.span(
+                    "phase.observe", cat="driver", task=sweep_label
+                ):
+                    observed = [
+                        driver.collect(run, "observed") for run in runs
+                    ]
+                    if want_observations and checkpoint is not None:
+                        checkpoint.save_observations(
+                            [
+                                fields
+                                for shard_obs in observed
+                                for fields in shard_obs
+                            ]
+                        )
                 for si, size in enumerate(sizes):
                     size = int(size)
                     cached = cached_rungs.get(si)
-                    if cached is not None:
-                        for run in runs:
-                            driver.command(run, "skip", si, size)
-                        for run in runs:
-                            driver.collect(run, "skipped", si)
-                        self._fill(size_stacks, weight_stacks, si, cached)
-                    else:
-                        for run in runs:
-                            driver.command(run, "rung", si, size)
-                        rows = [driver.collect(run, "rows", si) for run in runs]
-                        merged = tuple(
-                            np.concatenate([shard_rows[f] for shard_rows in rows])
-                            for f in range(4)
-                        )
-                        self._fill(size_stacks, weight_stacks, si, merged)
-                        if checkpoint is not None:
-                            checkpoint.save_rung(si, size, merged)
+                    with telemetry.span(
+                        "rung", cat="driver", task=sweep_label,
+                        rung=si, size=size, cached=cached is not None,
+                    ):
+                        if cached is not None:
+                            for run in runs:
+                                driver.command(run, "skip", si, size)
+                            for run in runs:
+                                driver.collect(run, "skipped", si)
+                            self._fill(size_stacks, weight_stacks, si, cached)
+                        else:
+                            for run in runs:
+                                driver.command(run, "rung", si, size)
+                            rows = [
+                                driver.collect(run, "rows", si) for run in runs
+                            ]
+                            merged = tuple(
+                                np.concatenate(
+                                    [shard_rows[f] for shard_rows in rows]
+                                )
+                                for f in range(4)
+                            )
+                            self._fill(size_stacks, weight_stacks, si, merged)
+                            if checkpoint is not None:
+                                checkpoint.save_rung(si, size, merged)
                     # Folded into every live ladder — what a replacement
                     # task must skip past to catch up.
                     for run in runs:
                         run.progress.append((si, size))
+                if recorder is not None:
+                    # Flush each task's recorded events back over the
+                    # reply channel (best-effort diagnostics: a shard
+                    # that died kept its history; its replacement ships
+                    # what the replay re-recorded).
+                    for run in runs:
+                        driver.command(run, "telemetry", -1, 0)
+                    for run in runs:
+                        recorder.merge_remote(
+                            driver.collect(run, "telemetry", -1)
+                        )
             finally:
                 driver.close_all()
                 # Closing is ordered before retirement on each worker's

@@ -257,6 +257,10 @@ def take(kind: str, **context) -> "Fault | None":
     for plan in active_plans():
         fault = plan.take(kind, **context)
         if fault is not None:
+            from repro.runtime import telemetry
+
+            telemetry.counter("faults.injected", 1)
+            telemetry.instant("fault.injected", cat="fault", kind=kind, **context)
             return fault
     return None
 

@@ -52,7 +52,7 @@ from __future__ import annotations
 import os
 from contextlib import nullcontext
 
-from repro.runtime import sharedmem
+from repro.runtime import sharedmem, telemetry
 from repro.runtime.checkpoint import PlanCheckpoint
 from repro.runtime.config import (
     active_options,
@@ -164,7 +164,7 @@ def run_plan(
 
     resources = PlanResources(
         {
-            name: _published_on_build(factory)
+            name: _published_on_build(name, factory)
             for name, factory in plan.resources.items()
         }
     )
@@ -183,24 +183,35 @@ def run_plan(
 
     # The serial reference loop: one cell at a time, in plan order.
     outputs: dict[str, object] = {}
-    with sharedmem.shared_pool() if parallel else nullcontext() as ambient_pool:
+    with telemetry.span(
+        "plan", cat="plan", plan=plan.name,
+        scheduler="serial", cells=len(plan.cells),
+    ), sharedmem.shared_pool() if parallel else nullcontext() as ambient_pool:
         try:
             for cell in plan.cells:
                 if isinstance(cell, SweepCell):
-                    outputs[cell.key] = _run_sweep_cell(
-                        cell,
-                        resources,
-                        executor=executor,
-                        workers=workers,
-                        checkpoint=(
-                            plan_checkpoint.cell_root(cell.key)
+                    with telemetry.span(
+                        "cell", cat="plan", key=cell.key, kind="sweep"
+                    ):
+                        outputs[cell.key] = _run_sweep_cell(
+                            cell,
+                            resources,
+                            executor=executor,
+                            workers=workers,
+                            checkpoint=(
+                                plan_checkpoint.cell_root(cell.key)
+                                if plan_checkpoint is not None
+                                else None
+                            ),
+                            resume=resume_flag
                             if plan_checkpoint is not None
-                            else None
-                        ),
-                        resume=resume_flag if plan_checkpoint is not None else resume,
-                    )
+                            else resume,
+                        )
                 else:
-                    outputs[cell.key] = cell.compute(resources)
+                    with telemetry.span(
+                        "cell", cat="plan", key=cell.key, kind="compute"
+                    ):
+                        outputs[cell.key] = cell.compute(resources)
         finally:
             if ambient_pool is not None:
                 # The cells' persistent workers outlive this plan; drop
@@ -212,7 +223,7 @@ def run_plan(
     return plan.finalize_outputs(outputs, resources)
 
 
-def _published_on_build(factory):
+def _published_on_build(name, factory):
     """Publish a resource's arrays to the plan's ambient pool on build.
 
     Cell executors then resolve these arrays to already-published
@@ -226,16 +237,17 @@ def _published_on_build(factory):
     """
 
     def build():
-        value = factory()
-        pool = sharedmem.active_pool()
-        if pool is not None:
-            try:
-                sharedmem.dumps(value, pool)
-            except Exception:
-                # Publication is purely an optimization; a resource the
-                # pickler cannot handle simply ships per cell instead.
-                pass
-        return value
+        with telemetry.span("resource", cat="plan", resource=name):
+            value = factory()
+            pool = sharedmem.active_pool()
+            if pool is not None:
+                try:
+                    sharedmem.dumps(value, pool)
+                except Exception:
+                    # Publication is purely an optimization; a resource
+                    # the pickler cannot handle ships per cell instead.
+                    pass
+            return value
 
     return build
 

@@ -16,6 +16,7 @@ Wire protocol (parent -> worker)::
     ("open",  task_id, payload, cfg)   start a shard task
     ("rung",  task_id, si, size)       compute rung si
     ("skip",  task_id, si, size)       fold past a checkpointed rung
+    ("telemetry", task_id, -1, 0)      flush the task's telemetry
     ("close", task_id)                 task finished; join + forget it
     ("retire", block_names)            drop shared-memory attachments
     ("shutdown",)                      exit the worker process
@@ -53,7 +54,8 @@ import traceback
 from pathlib import Path
 
 from repro.exceptions import EstimationError
-from repro.runtime import faults, sharedmem
+from repro.log import get_logger
+from repro.runtime import faults, sharedmem, telemetry
 
 __all__ = [
     "PersistentWorkerPool",
@@ -66,6 +68,8 @@ __all__ = [
     "read_spill",
     "reset_default_pools",
 ]
+
+_LOG = get_logger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +248,10 @@ def _task_main(task_id, payload, cfg, commands, reply) -> None:
 
 def _pool_worker_main(conn) -> None:
     """Worker process: dispatch messages to per-task threads."""
+    # A fork-inherited ambient recorder belongs to the parent; shard
+    # tasks record into task-local collectors instead (executor side),
+    # so drop it rather than silently swallowing events here.
+    telemetry.reset_for_worker()
     send_lock = threading.Lock()
 
     def reply(task_id, *parts):
@@ -285,7 +293,7 @@ def _pool_worker_main(conn) -> None:
                     # then simply finds them still referenced and keeps
                     # them pinned instead of crashing).
                     entry[0].join(timeout=30)
-            else:  # "rung" | "skip"
+            else:  # "rung" | "skip" | "telemetry"
                 tasks[task_id][1].put((kind, message[2], message[3]))
     finally:
         for _, commands in tasks.values():
@@ -402,6 +410,8 @@ def parse_reply(message, expected: str, rung_index: "int | None"):
         return message[2]
     if expected == "observed":
         return message[1]
+    if expected == "telemetry":
+        return message[2]
     return None
 
 
@@ -521,16 +531,24 @@ class PersistentWorkerPool:
                 "injected worker spawn failure (fail-respawn fault)"
             )
         try:
-            parent_conn, child_conn = self._ctx.Pipe()
-            process = self._ctx.Process(
-                target=_pool_worker_main, args=(child_conn,), daemon=True
-            )
-            process.start()
+            with telemetry.span(
+                "spawn", cat="pool", start_method=self.start_method
+            ):
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_pool_worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
         except OSError as error:  # fork/pipe exhaustion
             raise WorkerSpawnError(
                 f"could not spawn a sweep worker: {error}"
             ) from error
         child_conn.close()
+        _LOG.debug(
+            "spawned pool worker pid=%s (%s)",
+            process.pid, self.start_method,
+        )
+        telemetry.counter("pool.workers_spawned", 1)
         return _WorkerHandle(process, parent_conn)
 
     def _grow_locked(self, workers: int) -> None:
@@ -621,6 +639,11 @@ class PersistentWorkerPool:
         except EstimationError:
             handle.unregister(task_id)
             raise
+        telemetry.instant(
+            "task.open", cat="pool",
+            task_id=task_id, pid=handle.process.pid,
+            payload_bytes=len(payload),
+        )
         return channel
 
     def retire(self, handles, block_names) -> None:
@@ -659,6 +682,8 @@ class PersistentWorkerPool:
         """Stop every worker and forget them (the pool stays usable)."""
         with self._lock:
             handles, self._handles = self._handles, []
+        if handles:
+            _LOG.debug("shutting down %d pool worker(s)", len(handles))
         for handle in handles:
             if handle.alive:
                 try:

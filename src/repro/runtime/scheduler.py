@@ -47,11 +47,14 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from repro.exceptions import EstimationError
-from repro.runtime import faults, sharedmem
+from repro.log import get_logger
+from repro.runtime import faults, sharedmem, telemetry
 from repro.runtime.executor import ProcessSweepExecutor, replay_sweep
 from repro.runtime.pool import default_pool
 
 __all__ = ["run_plan_dag"]
+
+_LOG = get_logger(__name__)
 
 #: Default bound on concurrently running cells. Two is the sweet spot
 #: for pipelining: the next cell samples while the previous drains its
@@ -102,7 +105,10 @@ def run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
     # exporting REPRO_FAULTS exercises pool growth, every cell's drive
     # loop, and every checkpoint write — while unit tests touching the
     # checkpoint layer directly stay undisturbed.
-    with faults.env_scope():
+    with faults.env_scope(), telemetry.span(
+        "plan", cat="plan", plan=plan.name,
+        scheduler="dag", cells=len(plan.cells), workers=int(workers),
+    ):
         return _run_plan_dag(
             plan,
             resources,
@@ -130,6 +136,11 @@ def _run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
             )
             if result is not None:
                 outputs[cell.key] = result
+                _LOG.debug("cell %s replayed from checkpoint", cell.key)
+                telemetry.counter("plan.cells_replayed", 1)
+                telemetry.instant(
+                    "cell.replay", cat="plan", key=cell.key
+                )
 
     pending = [cell for cell in plan.cells if cell.key not in outputs]
     sweeps_pending = any(isinstance(cell, SweepCell) for cell in pending)
@@ -154,12 +165,13 @@ def _run_plan_dag(plan, resources, *, workers, plan_checkpoint, resume):
         try:
             pool.ensure(max(int(workers), 1))
         except (EstimationError, OSError) as error:
-            warnings.warn(
+            message = (
                 f"plan scheduler could not grow the worker pool ({error}); "
-                "cells will degrade to whatever workers can be leased",
-                RuntimeWarning,
-                stacklevel=2,
+                "cells will degrade to whatever workers can be leased"
             )
+            _LOG.warning(message)
+            telemetry.instant("degrade", cat="failover", message=message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
 
     # Sized so every resource prefetch and every in-flight cell gets a
     # thread at once — a cell must never wait behind the very resource
@@ -249,7 +261,8 @@ def _run_cell(cell, resources, *, workers, plan_checkpoint, resume, pool):
     from repro.experiments.plan import SweepCell
 
     if not isinstance(cell, SweepCell):
-        return cell.compute(resources)
+        with telemetry.span("cell", cat="plan", key=cell.key, kind="compute"):
+            return cell.compute(resources)
     from repro.stats.replication import (
         run_nrmse_sweep,
         run_nrmse_sweep_from_samples,
@@ -267,30 +280,40 @@ def _run_cell(cell, resources, *, workers, plan_checkpoint, resume, pool):
         ),
         resume=bool(resume) if plan_checkpoint is not None else False,
         pool=pool,
+        label=cell.label,
     )
-    job = cell.build(resources)
-    if job.mode == "fresh":
-        result = run_nrmse_sweep(
-            job.graph,
-            job.partition,
-            job.sampler,
-            job.sizes,
-            replications=job.replications,
-            rng=job.rng,
-            weight_size_plugin=job.weight_size_plugin,
-            mean_degree_model=job.mean_degree_model,
-            executor=executor,
-        )
-    else:
-        result = run_nrmse_sweep_from_samples(
-            job.graph,
-            job.partition,
-            job.samples,
-            job.sizes,
-            weight_size_plugin=job.weight_size_plugin,
-            mean_degree_model=job.mean_degree_model,
-            truth_mode=job.truth_mode,
-            executor=executor,
+    with telemetry.span("cell", cat="plan", key=cell.key, kind="sweep"):
+        job = cell.build(resources)
+        if job.mode == "fresh":
+            result = run_nrmse_sweep(
+                job.graph,
+                job.partition,
+                job.sampler,
+                job.sizes,
+                replications=job.replications,
+                rng=job.rng,
+                weight_size_plugin=job.weight_size_plugin,
+                mean_degree_model=job.mean_degree_model,
+                executor=executor,
+            )
+        else:
+            result = run_nrmse_sweep_from_samples(
+                job.graph,
+                job.partition,
+                job.samples,
+                job.sizes,
+                weight_size_plugin=job.weight_size_plugin,
+                mean_degree_model=job.mean_degree_model,
+                truth_mode=job.truth_mode,
+                executor=executor,
+            )
+    if executor.failover_log:
+        # Recovery events already reached the telemetry plane (and the
+        # log) from inside the driver; this summary line keeps per-cell
+        # attribution visible even with telemetry disabled.
+        _LOG.warning(
+            "cell %s recovered from %d worker failure(s)",
+            cell.key, len(executor.failover_log),
         )
     if plan_checkpoint is not None and executor.last_checkpoint is not None:
         # Recorded only now — after every rung landed — so a recorded

@@ -53,6 +53,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.runtime import telemetry
+
 __all__ = [
     "PoolChain",
     "SharedArrayPool",
@@ -112,6 +114,7 @@ class SharedArrayPool:
         self._mmap_names: list[str] = []
         self._tokens: dict[int, tuple] = {}
         self._pinned: list[np.ndarray] = []
+        self._published_bytes = 0
         self._lock = threading.Lock()
 
     def publish(self, array: np.ndarray) -> tuple:
@@ -146,6 +149,10 @@ class SharedArrayPool:
             self._blocks.append(block)
             self._tokens[id(array)] = token
             self._pinned.append(array)
+            self._published_bytes += source.nbytes
+            telemetry.counter("shm.published_bytes", source.nbytes)
+            telemetry.counter("shm.published_blocks", 1)
+            telemetry.gauge("shm.peak_pool_bytes", self._published_bytes)
             return token
 
     def token_of(self, array: np.ndarray) -> "tuple | None":
@@ -185,6 +192,9 @@ class SharedArrayPool:
             self._mmap_names = []
             self._tokens = {}
             self._pinned = []
+            retired, self._published_bytes = self._published_bytes, 0
+        if retired:
+            telemetry.counter("shm.retired_bytes", retired)
         for block in blocks:
             block.close()
             try:

@@ -298,16 +298,22 @@ def run_nrmse_sweep_from_samples(
     size_stacks = {kind: np.full((r, k, c), np.nan) for kind in KINDS}
     weight_stacks = {kind: np.full((r, k, c, c), np.nan) for kind in KINDS}
 
-    for rep, sample in enumerate(samples):
-        rungs = _ladder_rungs(
-            graph, partition, sample, sizes, ladder, n_pop, mean_degree_model
-        )
-        for si, rung in enumerate(rungs):
-            rows = _rung_rows(rung, weight_size_plugin, truth.sizes)
-            size_stacks["induced"][rep, si] = rows[0]
-            size_stacks["star"][rep, si] = rows[1]
-            weight_stacks["induced"][rep, si] = rows[2]
-            weight_stacks["star"][rep, si] = rows[3]
+    from repro.runtime import telemetry  # deferred: cycle
+
+    with telemetry.span(
+        "sweep.serial", cat="driver", replicates=r, rungs=k
+    ):
+        for rep, sample in enumerate(samples):
+            rungs = _ladder_rungs(
+                graph, partition, sample, sizes, ladder, n_pop,
+                mean_degree_model,
+            )
+            for si, rung in enumerate(rungs):
+                rows = _rung_rows(rung, weight_size_plugin, truth.sizes)
+                size_stacks["induced"][rep, si] = rows[0]
+                size_stacks["star"][rep, si] = rows[1]
+                weight_stacks["induced"][rep, si] = rows[2]
+                weight_stacks["star"][rep, si] = rows[3]
 
     return _reduce_stacks(
         sizes, size_stacks, weight_stacks, truth, truth_mode

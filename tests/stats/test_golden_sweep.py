@@ -130,6 +130,58 @@ def test_process_executor_bit_identical_to_serial_sweep(name, world):
             ), f"{name}: {attr}[{kind}] diverged between executors"
 
 
+@pytest.mark.parametrize("workers", (1, 2, 3))
+def test_sweep_bit_identical_with_telemetry_enabled(workers, world, tmp_path):
+    """The telemetry plane is output-neutral: recording a full trace
+    changes no byte of the NRMSE surfaces, at any worker count."""
+    from repro.runtime import telemetry_scope
+    from repro.runtime.telemetry import (
+        validate_metrics_file,
+        validate_trace_file,
+    )
+
+    graph, partition, relation = world
+    factory = DESIGNS["swrw"]
+    plain = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+        executor="process",
+        workers=workers,
+    )
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    with telemetry_scope(trace=trace, metrics=metrics):
+        traced = run_nrmse_sweep(
+            graph,
+            partition,
+            factory(graph, partition, relation),
+            LADDER,
+            replications=REPLICATIONS,
+            rng=SEED,
+            executor="process",
+            workers=workers,
+        )
+    assert np.array_equal(plain.sample_sizes, traced.sample_sizes)
+    for kind in ("induced", "star"):
+        for attr in (
+            "size_nrmse",
+            "weight_nrmse",
+            "size_coverage",
+            "weight_coverage",
+        ):
+            assert np.array_equal(
+                getattr(plain, attr)[kind],
+                getattr(traced, attr)[kind],
+                equal_nan=True,
+            ), f"{attr}[{kind}] changed with telemetry enabled"
+    assert validate_trace_file(trace) > 0
+    validate_metrics_file(metrics)
+
+
 @pytest.fixture(scope="module")
 def mapped_world(tmp_path_factory):
     """The same substrate as ``world``, built out-of-core."""
