@@ -50,14 +50,17 @@ import numpy as np
 from repro.generators import gnm
 from repro.generators.planted import PlantedModelConfig, planted_category_graph
 from repro.graph.storage import active_storage_mode
-from repro.rng import derive_rng
+from repro.rng import derive_rng, ensure_rng, spawn_rngs
 from repro.sampling import (
+    BreadthFirstSampler,
+    ForestFireSampler,
     MetropolisHastingsSampler,
     MultigraphRandomWalkSampler,
     RandomWalkSampler,
     RandomWalkWithJumpsSampler,
     StratifiedWeightedWalkSampler,
 )
+from repro.sampling.batch import sample_streams
 from repro.stats import run_nrmse_sweep
 
 #: Acceptance workload: R >= 64 replicate walks, >= 5 ladder rungs.
@@ -263,6 +266,58 @@ def test_batched_sweep_speedup(preset, timing_asserts):
                 f"single-process {single_time:6.3f}s  ({speedup:.1f}x)"
             )
 
+    # Traversal baselines: the set-semantics frontier kernels against
+    # their per-replicate sequential twins, at the kernel level (no
+    # estimator pipeline — the rows measure exactly the vectorization
+    # win of repro.sampling.traversal). Bit-equality always asserted.
+    traversal_n = graph.num_nodes // 2
+    traversal = {
+        "bfs": BreadthFirstSampler(graph),
+        "forest-fire": ForestFireSampler(graph, forward_prob=0.7),
+    }
+    # Both sides take best-of: the interpreter twin's wall clock is the
+    # noisier of the two (allocator/GC jitter across ~n*R pop loops),
+    # and a single noisy run would distort the recorded ratio.
+    for name, sampler in traversal.items():
+        batched_time, batched = _best_of(
+            lambda: sample_streams(
+                sampler,
+                traversal_n,
+                spawn_rngs(ensure_rng(0), REPLICATIONS),
+                engine="batched",
+            ),
+            repeats=2 * REPEATS,
+        )
+        twin_time, twin = _best_of(
+            lambda: sample_streams(
+                sampler,
+                traversal_n,
+                spawn_rngs(ensure_rng(0), REPLICATIONS),
+                engine="sequential",
+            ),
+        )
+        assert np.array_equal(batched.nodes, twin.nodes), (
+            f"{name}: batched frontier kernel diverged from the "
+            "sequential twin"
+        )
+        speedup = twin_time / batched_time
+        record["designs"][name] = {
+            "executor": {
+                "mode": "serial",
+                "workers": 1,
+                "storage": active_storage_mode(),
+            },
+            "kernel": "traversal-frontier",
+            "sample_size": traversal_n,
+            "batched_kernel_seconds": round(batched_time, 4),
+            "sequential_twin_seconds": round(twin_time, 4),
+            "speedup_vs_sequential_twin": round(speedup, 2),
+        }
+        print(
+            f"  {name:>11}: batched {batched_time:6.3f}s  "
+            f"sequential-twin {twin_time:6.3f}s  ({speedup:.1f}x)"
+        )
+
     _JSON_PATH.write_text(
         json.dumps(_merge_record(preset.name, record), indent=2) + "\n"
     )
@@ -289,3 +344,8 @@ def test_batched_sweep_speedup(preset, timing_asserts):
             for name in EXECUTOR_DESIGNS:
                 row = record["designs"][f"{name}@process-w2"]
                 assert row["speedup_vs_single_process"] >= 1.5, (name, row)
+        # Traversal frontier kernels: a pure NumPy-vs-interpreter win,
+        # demonstrable even on a 1-core runner.
+        for name in traversal:
+            row = record["designs"][name]
+            assert row["speedup_vs_sequential_twin"] >= 3.0, (name, row)

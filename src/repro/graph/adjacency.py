@@ -164,6 +164,41 @@ class Graph:
         view.flags.writeable = False
         return view
 
+    def gather_neighborhoods(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated adjacency runs of ``nodes``, in one gather.
+
+        Returns ``(neighbors, lengths)`` where ``neighbors`` is the
+        concatenation of each node's (sorted) adjacency run in the order
+        the nodes were given — run ``i`` occupies
+        ``neighbors[lengths[:i].sum() : lengths[:i].sum() + lengths[i]]``
+        — and ``lengths`` is each run's degree. Repeated nodes repeat
+        their runs. This is the frontier-expansion primitive of the
+        batched traversal kernels (:mod:`repro.sampling.traversal`): one
+        fancy-indexed gather over the whole frontier instead of a
+        Python-level slice per node, and it reads identically from
+        in-RAM and memmap-backed planes.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.ndim != 1:
+            raise GraphError("gather_neighborhoods needs a 1-D node array")
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise GraphError(
+                "gather_neighborhoods received node ids outside the graph"
+            )
+        starts = self._indptr[nodes]
+        lengths = self._indptr[nodes + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), lengths
+        # Position j of run i maps to arc starts[i] + j: shift a flat
+        # arange by each run's (start - cumulative-output-offset).
+        first = np.zeros(len(nodes), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=first[1:])
+        arcs = np.repeat(starts - first, lengths) + np.arange(total, dtype=np.int64)
+        return self._indices[arcs], lengths
+
     def has_edge(self, u: int, v: int) -> bool:
         """True when the undirected edge ``{u, v}`` exists.
 

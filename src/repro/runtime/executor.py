@@ -346,6 +346,14 @@ def serve_shard(payload: bytes, cfg: dict, recv, send) -> None:
                 sampler, cfg["n"], streams, engine=cfg["engine"]
             )
             samples = batch.replicates()
+        if ("kill", "sample") in {
+            tuple(d) for d in (cfg.get("faults") or ())
+        }:
+            # Injected mid-sample death: SIGKILL after the kernel drew
+            # the replicates but before the reply, so the parent sees
+            # the sample phase unanswered, the work is lost, and the
+            # replacement task must redraw from the original seeds.
+            os.kill(os.getpid(), signal.SIGKILL)
         if cfg["want_samples"]:
             send("sampled", batch.nodes, batch.weights)
         else:

@@ -16,7 +16,13 @@ string per :func:`inject` argument)::
     kill-worker[:rung=K][,shard=J][,times=N]    SIGKILL the worker
                                                 serving shard J when
                                                 rung K's command
-                                                arrives (default K=0)
+                                                arrives (default K=0);
+                                                ``phase=sample``
+                                                instead strikes during
+                                                the sampling phase —
+                                                after the walk or
+                                                traversal kernel ran,
+                                                before its reply
     hang-worker[:shard=J][,times=N]             wedge shard J's task:
                                                 no replies, no
                                                 heartbeats (timeout
@@ -271,8 +277,12 @@ def take_worker_directives(shard_slot: int) -> tuple:
     Returns the directive tuple the executor embeds in the task cfg —
     ``("kill", rung_index)`` makes :func:`~repro.runtime.executor.serve_shard`
     SIGKILL its own process when that rung's command arrives (before
-    computing any row, so the parent sees a clean mid-rung death), and
-    ``("hang",)`` wedges the task before its first reply or heartbeat.
+    computing any row, so the parent sees a clean mid-rung death),
+    ``("kill", "sample")`` (from a ``phase=sample`` spec) kills it in
+    the sampling phase instead — after the walk/traversal kernel did
+    its work, before the ``sampled`` reply, so the replicates are lost
+    and the replacement must redraw them — and ``("hang",)`` wedges
+    the task before its first reply or heartbeat.
     Each call draws against the fault's ``times`` budget, so a
     replacement task is struck again only while budget remains —
     recovery always converges once the plan runs dry.
@@ -280,7 +290,10 @@ def take_worker_directives(shard_slot: int) -> tuple:
     directives = []
     fault = take("kill-worker", shard=shard_slot)
     if fault is not None:
-        directives.append(("kill", int(fault.params.get("rung", 0))))
+        if fault.params.get("phase") == "sample":
+            directives.append(("kill", "sample"))
+        else:
+            directives.append(("kill", int(fault.params.get("rung", 0))))
     fault = take("hang-worker", shard=shard_slot)
     if fault is not None:
         directives.append(("hang",))

@@ -46,9 +46,12 @@ Resolution follows the method-resolution order of the sampler's class,
 so subclasses inherit their parent's kernel automatically (S-WRW rides
 the WRW kernel this way) and can override it with their own
 registration. Registering ``None`` declares an *explicit* sequential
-fallback — the design is stated to have no vectorizable frontier (the
-without-replacement traversal baselines, the independence designs) and
-``sample_many`` runs the per-stream loop without probing further.
+fallback — the design is stated to have no batched kernel (today only
+the independence designs, whose per-draw cost is a single array op
+already) and ``sample_many`` runs the per-stream loop without probing
+further. The without-replacement traversal baselines (BFS, Forest
+Fire) used to be ``None`` fallbacks too; they now register
+set-semantics frontier kernels in :mod:`repro.sampling.traversal`.
 Unregistered designs fall back the same way, so callers can treat every
 design uniformly; :func:`registered_kernel` reports the kernel in use
 and :func:`is_registered` distinguishes a declared fallback from a
@@ -247,9 +250,10 @@ def sample_many(
     """Draw ``replications`` independent samples of size ``n`` at once.
 
     Designs with a registered kernel (RW, MHRW, WRW/S-WRW with either
-    next-hop engine, RWJ, the multigraph union-CSR walk) advance as one
-    vectorized frontier; every other design falls back to a sequential
-    per-stream loop. Either way replicate ``r`` equals
+    next-hop engine, RWJ, the multigraph union-CSR walk, and the BFS /
+    Forest Fire traversal baselines) advance as one vectorized
+    frontier; every other design falls back to a sequential per-stream
+    loop. Either way replicate ``r`` equals
     ``sampler.sample(n, rng=spawn_rngs(rng, R)[r])`` bit for bit.
     """
     if replications < 1:

@@ -16,6 +16,8 @@ from repro.exceptions import EstimationError, SamplingError
 from repro.generators import gnm, planted_category_graph
 from repro.runtime import ProcessSweepExecutor, runtime_options
 from repro.sampling import (
+    BreadthFirstSampler,
+    ForestFireSampler,
     MultigraphRandomWalkSampler,
     RandomWalkSampler,
     StratifiedWeightedWalkSampler,
@@ -36,6 +38,9 @@ DESIGNS = {
     "multigraph": lambda g, p, rel: MultigraphRandomWalkSampler([g, rel]),
     # no batch kernel: exercises the executor's sequential fallback
     "uis": lambda g, p, rel: UniformIndependenceSampler(g),
+    # without-replacement traversal kernels (set-semantics frontier)
+    "bfs": lambda g, p, rel: BreadthFirstSampler(g),
+    "forest_fire": lambda g, p, rel: ForestFireSampler(g),
 }
 
 

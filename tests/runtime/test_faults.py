@@ -132,6 +132,48 @@ def test_mid_rung_worker_kill_recovers_bit_identically(workers, world, serial):
     assert not entry["timeout"]
 
 
+@pytest.mark.parametrize("name", ["bfs", "forest_fire"])
+def test_mid_traversal_worker_kill_recovers_bit_identically(name, world):
+    """A worker killed while running a traversal frontier kernel.
+
+    ``phase=sample`` strikes after the batched BFS / Forest Fire kernel
+    drew its shard's replicates but before the ``sampled`` reply — the
+    visited bitmaps and outputs die with the process, and the
+    replacement task must redraw the same replicates from the original
+    seeds. Recovery must be byte-identical to an undisturbed serial
+    run.
+    """
+    from repro.sampling import BreadthFirstSampler, ForestFireSampler
+
+    graph, partition = world
+    factory = {
+        "bfs": lambda: BreadthFirstSampler(graph),
+        "forest_fire": lambda: ForestFireSampler(graph),
+    }[name]
+    kwargs = dict(replications=REPLICATIONS, rng=SEED)
+    undisturbed = run_nrmse_sweep(
+        graph, partition, factory(), LADDER, executor="serial", **kwargs
+    )
+    executor = ProcessSweepExecutor(workers=2)
+    with faults.inject("kill-worker:phase=sample,shard=0"):
+        result = run_nrmse_sweep(
+            graph, partition, factory(), LADDER, executor=executor, **kwargs
+        )
+    assert_sweeps_equal(undisturbed, result, f"mid-traversal kill [{name}]")
+    assert executor.failover_log, "the injected kill never triggered failover"
+    entry = executor.failover_log[0]
+    assert entry["slot"] == 0
+    assert entry["phase"] == "sampled", entry
+    assert not entry["timeout"]
+
+
+def test_phase_sample_spec_yields_the_sample_kill_directive():
+    with faults.inject("kill-worker:phase=sample,shard=2"):
+        assert faults.take_worker_directives(0) == ()
+        assert faults.take_worker_directives(2) == (("kill", "sample"),)
+        assert faults.take_worker_directives(2) == ()  # budget drained
+
+
 def test_hung_worker_times_out_and_fails_over(world, serial):
     executor = ProcessSweepExecutor(workers=2, task_timeout=0.75)
     with faults.inject("hang-worker:shard=0"):

@@ -102,8 +102,8 @@ DESIGNS = {
         lambda w: MultigraphRandomWalkSampler([w.graph, w.relation]),
         True,
     ),
-    "bfs": (lambda w: BreadthFirstSampler(w.graph), False),
-    "forest_fire": (lambda w: ForestFireSampler(w.graph), False),
+    "bfs": (lambda w: BreadthFirstSampler(w.graph), True),
+    "forest_fire": (lambda w: ForestFireSampler(w.graph), True),
 }
 
 
@@ -311,13 +311,13 @@ class _UnheardOfSampler(Sampler):
 
 
 def test_is_registered_distinguishes_fallback_from_unknown(world):
-    # BFS has an explicit None registration; a direct Sampler subclass
+    # UIS has an explicit None registration; a direct Sampler subclass
     # outside the registry does not, even though both resolve to the
     # sequential fallback in sample_many. Registered ancestors count:
     # _CountingSampler inherits UIS's declared fallback through the MRO.
-    bfs = BreadthFirstSampler(world.graph)
-    assert registered_kernel(bfs) is None
-    assert is_registered(bfs.__class__)
+    uis = UniformIndependenceSampler(world.graph)
+    assert registered_kernel(uis) is None
+    assert is_registered(uis.__class__)
     assert is_registered(_CountingSampler)
     assert not is_registered(_UnheardOfSampler)
 
