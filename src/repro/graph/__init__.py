@@ -30,6 +30,14 @@ from repro.graph.operations import (
     largest_component,
 )
 from repro.graph.partition import CategoryPartition
+from repro.graph.planes import (
+    DerivedPlaneStore,
+    PlaneWriter,
+    clear_plane_memo,
+    plane_store_at,
+    plane_store_for,
+    source_fingerprint,
+)
 from repro.graph.storage import (
     MemmapCSR,
     StreamingCSRBuilder,
@@ -45,8 +53,14 @@ from repro.graph.storage import (
 from repro.graph.union import UnionCSR, union_csr
 
 __all__ = [
+    "DerivedPlaneStore",
     "MemmapCSR",
+    "PlaneWriter",
     "StreamingCSRBuilder",
+    "clear_plane_memo",
+    "plane_store_at",
+    "plane_store_for",
+    "source_fingerprint",
     "active_storage_mode",
     "chunk_edges",
     "edge_chunks",

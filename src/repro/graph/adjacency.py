@@ -146,12 +146,16 @@ class Graph:
 
         ``(arc_sources[i], indices[i])`` enumerates all ``2|E|`` arcs.
         Computed once and cached (the graph is immutable); validation and
-        the observation builders share it. Read-only view.
+        the observation builders share it. Under ``graph_storage("memmap")``
+        the derivation goes through the plane store of
+        :mod:`repro.graph.planes` — built chunked on disk, reopened as a
+        read-only mapping, and reused by every run over a bit-identical
+        substrate. Read-only view.
         """
         if self._arc_sources is None:
-            self._arc_sources = np.repeat(
-                np.arange(self.num_nodes, dtype=np.int64), np.diff(self._indptr)
-            )
+            from repro.graph.planes import derived_arc_sources
+
+            self._arc_sources = derived_arc_sources(self._indptr)
         view = self._arc_sources.view()
         view.flags.writeable = False
         return view

@@ -140,12 +140,18 @@ class CategoryPartition:
 
         ``labels[graph.indices]``, cached for the most recent graph —
         replicated observation passes over one substrate reuse it
-        instead of re-gathering per replicate. Read-only view.
+        instead of re-gathering per replicate. Under
+        ``graph_storage("memmap")`` the gather runs chunked through the
+        derived-plane store of :mod:`repro.graph.planes` and the result
+        is a file-backed mapping. Read-only view.
         """
         cache = self._arc_label_cache
         if cache is None or cache[0] is not graph:
-            values = self._labels[graph.indices]
-            values.flags.writeable = False
+            from repro.graph.planes import derived_arc_labels
+
+            values = derived_arc_labels(self._labels, graph.indices)
+            if values.flags.writeable:
+                values.flags.writeable = False
             self._arc_label_cache = (graph, values)
         return self._arc_label_cache[1]
 

@@ -42,6 +42,11 @@ Workers never copy these planes: the plane-tokenizing pickler of
 :mod:`repro.runtime.sharedmem` recognizes file-backed arrays and ships
 an ``mmap`` token (path + dtype + shape + offset) instead of a shared
 memory block, so each worker maps the same file.
+
+Arrays *derived* from these planes (``arc_sources``, union-CSR merges,
+alias tables, walk cumulatives) spill to the same format through the
+content-addressed store of :mod:`repro.graph.planes`, which reuses this
+module's manifest machinery and digests.
 """
 
 from __future__ import annotations
@@ -182,14 +187,23 @@ def _digest_file(path: Path, block: int = 1 << 22) -> str:
     return digest.hexdigest()
 
 
-def _write_manifest(directory: Path, manifest: dict) -> None:
+def _write_manifest(
+    directory: Path, manifest: dict, *, file_kind: str = "manifest"
+) -> None:
+    """Atomically commit a plane manifest (tmp + rename).
+
+    ``file_kind`` names the manifest family for the ``corrupt-manifest``
+    fault directive: ``"manifest"`` for base-CSR stores,``"derived"``
+    for the derived-plane store of :mod:`repro.graph.planes` — a
+    ``corrupt-manifest:file=derived`` spec tears only the latter.
+    """
     path = directory / MANIFEST_NAME
     tmp = directory / (MANIFEST_NAME + ".tmp")
     tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     os.replace(tmp, path)
     from repro.runtime import faults  # deferred: keeps this module light
 
-    if faults.take("corrupt-manifest", file="manifest") is not None:
+    if faults.take("corrupt-manifest", file=file_kind) is not None:
         # Tear the manifest after its atomic write, the same way the
         # corrupt-checkpoint directive tears checkpoint payloads: the
         # next open_csr must fail loudly, never feed garbage downstream.

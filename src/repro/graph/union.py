@@ -37,8 +37,57 @@ import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graph.adjacency import Graph
+from repro.graph.planes import (
+    DEFAULT_CHUNK_ARCS,
+    PlaneWriter,
+    derived_arc_sources,
+    node_blocks,
+    plane_store_for,
+)
 
-__all__ = ["UnionCSR", "union_csr"]
+__all__ = ["UnionCSR", "build_union_planes", "union_csr"]
+
+
+def build_union_planes(
+    writer: PlaneWriter,
+    graphs: Sequence[Graph],
+    indptr: np.ndarray,
+    chunk_arcs: int = DEFAULT_CHUNK_ARCS,
+) -> None:
+    """Chunked out-of-core twin of the in-RAM union scatter merge.
+
+    Fills ``indices`` / ``arc_relations`` planes one node block at a
+    time: per block, each relation's arc window is gathered and placed
+    behind the runs of the relations before it — the same values the
+    one-shot scatter produces, computed in O(chunk) RAM. Blocks hold
+    whole nodes (see :func:`repro.graph.planes.node_blocks`), so this is
+    a pure evaluation-order change and the planes are bit-identical.
+    """
+    indptr = np.asanyarray(indptr)
+    num_arcs = int(indptr[-1])
+    out_indices = writer.create("indices", np.int64, (num_arcs,))
+    out_relations = writer.create("arc_relations", np.int64, (num_arcs,))
+    for first, stop, lo, hi in node_blocks(indptr, chunk_arcs):
+        block_indices = np.empty(hi - lo, dtype=np.int64)
+        block_relations = np.empty(hi - lo, dtype=np.int64)
+        # Within-block destination offset of each node's next run.
+        offset = np.asarray(indptr[first:stop]) - lo
+        for rel, graph in enumerate(graphs):
+            glo, ghi = int(graph.indptr[first]), int(graph.indptr[stop])
+            deg = np.diff(np.asarray(graph.indptr[first : stop + 1]))
+            if ghi > glo:
+                arcs = np.asarray(graph.indices[glo:ghi])
+                within = (
+                    np.arange(len(arcs), dtype=np.int64)
+                    + glo
+                    - np.repeat(np.asarray(graph.indptr[first:stop]), deg)
+                )
+                dest = np.repeat(offset, deg) + within
+                block_indices[dest] = arcs
+                block_relations[dest] = rel
+            offset = offset + deg
+        out_indices[lo:hi] = block_indices
+        out_relations[lo:hi] = block_relations
 
 
 class UnionCSR:
@@ -60,6 +109,7 @@ class UnionCSR:
         "_indices",
         "_arc_relations",
         "_total_degrees",
+        "_arc_sources",
         "__weakref__",  # the union_csr cache references instances weakly
     )
 
@@ -77,22 +127,44 @@ class UnionCSR:
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(total_degrees, out=indptr[1:])
         num_arcs = int(indptr[-1])
-        indices = np.empty(num_arcs, dtype=np.int64)
-        arc_relations = np.empty(num_arcs, dtype=np.int64)
-        # Scatter each relation's arcs behind the arcs of the relations
-        # before it: `offset[v]` tracks where node v's next run lands.
-        offset = indptr[:-1].copy()
-        for rel, graph in enumerate(graphs):
-            deg = per_degrees[rel]
-            if not deg.any():
-                continue
-            within = np.arange(len(graph.indices), dtype=np.int64) - np.repeat(
-                graph.indptr[:-1], deg
+        # The merged planes are the O(arcs) cost of a union; under the
+        # memmap storage plane (or file-backed relations) they build
+        # chunked through the derived-plane store instead — bit-identical
+        # planes, O(chunk) peak RAM, reused across runs by content key.
+        store = plane_store_for(
+            *(g.indptr for g in graphs),
+            *(g.indices for g in graphs),
+            nbytes=num_arcs * 16,
+        )
+        if store is not None:
+            merged = store.get_or_build(
+                "union-csr",
+                params={"num_relations": len(graphs)},
+                sources=tuple(g.indptr for g in graphs)
+                + tuple(g.indices for g in graphs),
+                build=lambda writer: build_union_planes(writer, graphs, indptr),
             )
-            dest = np.repeat(offset, deg) + within
-            indices[dest] = graph.indices
-            arc_relations[dest] = rel
-            offset += deg
+            indices = merged["indices"]
+            arc_relations = merged["arc_relations"]
+        else:
+            indices = np.empty(num_arcs, dtype=np.int64)
+            arc_relations = np.empty(num_arcs, dtype=np.int64)
+            # Scatter each relation's arcs behind the arcs of the
+            # relations before it: `offset[v]` tracks where node v's
+            # next run lands.
+            offset = indptr[:-1].copy()
+            for rel, graph in enumerate(graphs):
+                deg = per_degrees[rel]
+                if not deg.any():
+                    continue
+                within = np.arange(
+                    len(graph.indices), dtype=np.int64
+                ) - np.repeat(graph.indptr[:-1], deg)
+                dest = np.repeat(offset, deg) + within
+                indices[dest] = graph.indices
+                arc_relations[dest] = rel
+                offset += deg
+        self._arc_sources = None
         self._graphs = graphs
         self._indptr = indptr
         self._indices = indices
@@ -151,10 +223,19 @@ class UnionCSR:
         return view
 
     def arc_sources(self) -> np.ndarray:
-        """Source node of every arc, aligned with :attr:`indices`."""
-        return np.repeat(
-            np.arange(self.num_nodes, dtype=np.int64), self._total_degrees
-        )
+        """Source node of every arc, aligned with :attr:`indices`.
+
+        Computed once and cached like :attr:`Graph.arc_sources` (it used
+        to re-run an O(arcs) ``np.repeat`` per call), routed through the
+        derived-plane store — keyed on the merged ``indptr`` alone, so a
+        union and a simple graph with identical offsets share one plane.
+        Read-only view.
+        """
+        if self._arc_sources is None:
+            self._arc_sources = derived_arc_sources(self._indptr)
+        view = self._arc_sources.view()
+        view.flags.writeable = False
+        return view
 
     def arc_multiplicities(self) -> tuple[np.ndarray, np.ndarray]:
         """Distinct directed arcs and their multiplicities.

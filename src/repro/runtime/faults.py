@@ -33,12 +33,20 @@ string per :func:`inject` argument)::
                                                 observations | samples
                                                 | truth; default any)
                                                 after its atomic write
-    corrupt-manifest[:times=N]                  truncate the next
-                                                on-disk CSR manifest
-                                                (repro.graph.storage)
+    corrupt-manifest[:file=KIND][,times=N]      truncate the next
+                                                on-disk plane manifest
                                                 after its atomic write
                                                 — the torn-manifest
-                                                recovery path
+                                                recovery path.
+                                                ``file=manifest``
+                                                strikes the base-CSR
+                                                store
+                                                (repro.graph.storage),
+                                                ``file=derived`` the
+                                                derived-plane store
+                                                (repro.graph.planes,
+                                                which quarantines and
+                                                rebuilds); default any
     fail-respawn[:times=N]                      make the next N worker
                                                 spawns raise
 

@@ -279,8 +279,11 @@ class _PlanePickler(pickle.Pickler):
         self._pool = pool
 
     def persistent_id(self, obj):
+        # Plain ndarrays and raw np.memmap planes (the derived-plane
+        # store hands out the former as views of the latter) both
+        # tokenize; fancier subclasses keep default pickling.
         if (
-            type(obj) is np.ndarray
+            type(obj) in (np.ndarray, np.memmap)
             and obj.dtype != object
             and obj.nbytes >= self._pool.threshold
         ):

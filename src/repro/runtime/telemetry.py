@@ -87,6 +87,11 @@ _STANDARD_COUNTERS = (
     "checkpoint.quarantined",
     "checkpoint.sweep_cache_hits",
     "plan.cells_replayed",
+    "planes.built",
+    "planes.built_bytes",
+    "planes.hit",
+    "planes.hit_bytes",
+    "planes.quarantined",
 )
 
 
@@ -415,6 +420,12 @@ def _union_length(intervals: list[tuple[int, int]]) -> int:
 _STACK: list[TelemetryRecorder] = []
 _RECORDER: TelemetryRecorder | None = None
 
+#: Fallback counter sink inside pool workers (no ambient recorder there
+#: by design): the live task collector, installed by
+#: :func:`worker_collector` so module-level :func:`counter` calls from
+#: substrate layers ship with the task's payload. Never receives spans.
+_WORKER_SINK: TelemetryRecorder | None = None
+
 
 def enabled() -> bool:
     """Is an ambient recorder installed in this process?"""
@@ -485,7 +496,7 @@ def instant(name: str, cat: str = "runtime", **args) -> None:
 
 
 def counter(name: str, value: float = 1) -> None:
-    rec = _RECORDER
+    rec = _RECORDER if _RECORDER is not None else _WORKER_SINK
     if rec is not None:
         rec.counter(name, value)
 
@@ -507,6 +518,7 @@ def worker_collector(requested) -> tuple[TelemetryRecorder | None, bool]:
     nothing ships. A recorder inherited through ``fork`` (pid mismatch)
     is never recorded into.
     """
+    global _WORKER_SINK
     if not requested:
         return None, False
     ambient = _RECORDER
@@ -515,15 +527,24 @@ def worker_collector(requested) -> tuple[TelemetryRecorder | None, bool]:
     collector = TelemetryRecorder(
         process_label=f"worker {os.getpid()}"
     )
+    # Process-global *counter* sink: substrate layers (the derived-plane
+    # store, the shared-memory pool) record counters through the
+    # module-level helpers, which have no task collector in hand. Spans
+    # stay strictly task-local; counters are additive, so even when two
+    # concurrent tasks of one pool worker race for the sink, every
+    # increment ships and the parent's merge preserves the totals.
+    _WORKER_SINK = collector
     return collector, True
 
 
 def reset_for_worker() -> None:
-    """Drop a fork-inherited ambient recorder (parent pid != ours)."""
-    global _RECORDER
+    """Drop fork-inherited recorders (parent pid != ours)."""
+    global _RECORDER, _WORKER_SINK
     if _RECORDER is not None and _RECORDER.pid != os.getpid():
         _STACK.clear()
         _RECORDER = None
+    if _WORKER_SINK is not None and _WORKER_SINK.pid != os.getpid():
+        _WORKER_SINK = None
 
 
 # ----------------------------------------------------------------------

@@ -61,6 +61,49 @@ def _segmented_cumsum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return out
 
 
+def build_segmented_cumsum(writer, values, indptr, chunk_arcs=None) -> None:
+    """Chunked out-of-core twin of :func:`_segmented_cumsum`.
+
+    Runs the Hillis-Steele scan one node block at a time (whole runs
+    per block). The scan is per-run independent — an element only ever
+    combines with elements of its own run, and doubling iterations past
+    a run's length touch none of its elements — so the block results
+    are bit-identical to the one-shot pass, in O(chunk) peak RAM.
+    """
+    from repro.graph.planes import DEFAULT_CHUNK_ARCS, node_blocks
+
+    if chunk_arcs is None:
+        chunk_arcs = DEFAULT_CHUNK_ARCS
+    indptr = np.asanyarray(indptr)
+    out = writer.create("cumsum", np.float64, (int(indptr[-1]),))
+    for first, stop, lo, hi in node_blocks(indptr, chunk_arcs):
+        sub_indptr = np.asarray(indptr[first : stop + 1]) - lo
+        out[lo:hi] = _segmented_cumsum(np.asarray(values[lo:hi]), sub_indptr)
+
+
+def _derived_local_cumulative(
+    arc_weights: np.ndarray, indptr: np.ndarray
+) -> np.ndarray:
+    """Per-run local cumulative weights, via the derived-plane store.
+
+    RAM-mode runs compute in RAM like always; under the memmap storage
+    plane the cumsum builds chunked on disk, reopens read-only, and is
+    reused by every sampler (and every later run) over bit-identical
+    ``(indptr, arc_weights)`` inputs.
+    """
+    from repro.graph.planes import plane_store_for
+
+    store = plane_store_for(indptr, arc_weights, nbytes=len(arc_weights) * 8)
+    if store is None:
+        return _segmented_cumsum(arc_weights, indptr)
+    planes = store.get_or_build(
+        "walk-cumsum",
+        sources=(indptr, arc_weights),
+        build=lambda writer: build_segmented_cumsum(writer, arc_weights, indptr),
+    )
+    return planes["cumsum"]
+
+
 class _WalkSampler(Sampler):
     """Shared start/burn-in plumbing for walk designs."""
 
@@ -212,7 +255,9 @@ class WeightedRandomWalkSampler(_WalkSampler):
         # sampling. Local (not global) sums keep the inverse-CDF lookup
         # exact on graphs whose total arc weight dwarfs individual run
         # weights; see _segmented_cumsum.
-        self._local_cumulative = _segmented_cumsum(arc_weights, graph.indptr)
+        self._local_cumulative = _derived_local_cumulative(
+            arc_weights, graph.indptr
+        )
         degrees = graph.degrees()
         if len(arc_weights):
             run_ends = np.maximum(graph.indptr[1:] - 1, 0)
@@ -223,11 +268,14 @@ class WeightedRandomWalkSampler(_WalkSampler):
             self._strength = np.zeros(graph.num_nodes)
         self._next_hop = next_hop
         if next_hop == "alias":
-            from repro.sampling.alias import build_alias_tables
+            from repro.sampling.alias import derived_alias_tables
 
             # Normalize by the same per-run strengths the binary search
             # uses, so both engines encode identical probabilities.
-            self._alias_tables = build_alias_tables(
+            # Routed through the derived-plane store: under the memmap
+            # storage plane the tables build chunked on disk and warm
+            # runs reopen them instead of rebuilding.
+            self._alias_tables = derived_alias_tables(
                 graph.indptr, arc_weights, self._strength
             )
         else:

@@ -481,3 +481,31 @@ def test_memmap_backed_world_samples_bit_equal(name, world, mapped_world):
         assert np.array_equal(
             ram.replicate(r).weights, mapped.replicate(r).weights
         ), f"{name}: memmap weights diverged in replicate {r}"
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_plane_store_backed_world_samples_bit_equal(
+    name, world, mapped_world, monkeypatch
+):
+    """Derived planes spilled through the manifest-keyed store are
+    indistinguishable from their in-RAM twins: with every derivation
+    forced out of core (``REPRO_PLANE_THRESHOLD=0``), a shared seed
+    draws the same trajectories — cold (planes built chunk by chunk)
+    and warm (planes reopened from a prior commit)."""
+    from repro.graph.planes import clear_plane_memo
+
+    monkeypatch.setenv("REPRO_PLANE_THRESHOLD", "0")
+    factory, _ = DESIGNS[name]
+    n, replications, seed = 120, 3, sum(map(ord, name)) % 1000
+    ram = factory(world).sample_many(n, replications, rng=seed)
+    cold = factory(mapped_world).sample_many(n, replications, rng=seed)
+    clear_plane_memo()
+    warm = factory(mapped_world).sample_many(n, replications, rng=seed)
+    for r in range(replications):
+        for phase, got in (("cold", cold), ("warm", warm)):
+            assert np.array_equal(
+                ram.replicate(r).nodes, got.replicate(r).nodes
+            ), f"{name}: {phase} plane-store trajectory diverged in replicate {r}"
+            assert np.array_equal(
+                ram.replicate(r).weights, got.replicate(r).weights
+            ), f"{name}: {phase} plane-store weights diverged in replicate {r}"

@@ -231,3 +231,54 @@ def test_memmap_backed_sweep_bit_identical_to_ram(name, world, mapped_world):
                 getattr(mapped, attr)[kind],
                 equal_nan=True,
             ), f"{name}: {attr}[{kind}] diverged between storage planes"
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_plane_store_sweep_bit_identical_cold_and_warm(
+    name, world, mapped_world, monkeypatch
+):
+    """The golden pin of the *derived*-plane store: with every
+    derivation (arc_sources, arc_labels, union merge, alias tables,
+    walk cumsums) forced through the manifest-keyed spill path
+    (``REPRO_PLANE_THRESHOLD=0``), the NRMSE surfaces equal the in-RAM
+    surfaces bit for bit — on the cold build and again on the warm
+    reopen after the in-process memo is dropped."""
+    from repro.graph.planes import clear_plane_memo
+
+    monkeypatch.setenv("REPRO_PLANE_THRESHOLD", "0")
+    graph, partition, relation = world
+    m_graph, m_partition, m_relation = mapped_world
+    factory = DESIGNS[name]
+    ram = run_nrmse_sweep(
+        graph,
+        partition,
+        factory(graph, partition, relation),
+        LADDER,
+        replications=REPLICATIONS,
+        rng=SEED,
+    )
+    surfaces = {}
+    for phase in ("cold", "warm"):
+        surfaces[phase] = run_nrmse_sweep(
+            m_graph,
+            m_partition,
+            factory(m_graph, m_partition, m_relation),
+            LADDER,
+            replications=REPLICATIONS,
+            rng=SEED,
+        )
+        clear_plane_memo()  # the warm pass reopens committed planes
+    for phase, mapped in surfaces.items():
+        assert np.array_equal(ram.sample_sizes, mapped.sample_sizes)
+        for kind in ("induced", "star"):
+            for attr in (
+                "size_nrmse",
+                "weight_nrmse",
+                "size_coverage",
+                "weight_coverage",
+            ):
+                assert np.array_equal(
+                    getattr(ram, attr)[kind],
+                    getattr(mapped, attr)[kind],
+                    equal_nan=True,
+                ), f"{name}/{phase}: {attr}[{kind}] diverged via plane store"
